@@ -1,0 +1,164 @@
+//! Criterion timing benches for the paper reproduction's hot paths.
+//!
+//! These complement the `expt` binary: `expt` regenerates the paper's
+//! *result* tables (simulated metrics), while these benches time the
+//! *implementation* — NoC simulation rate, LPM lookups, packet parsing,
+//! DSOC marshalling, the mappers and whole-platform stepping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nanowall::scenarios::ipv4_rig;
+use nw_dsoc::{Message, MethodId};
+use nw_ipv4::routes::{synthetic_table, RouteTableConfig};
+use nw_ipv4::{
+    BinaryTrie, CamTable, Ipv4Header, LinearTable, LpmTable, MultibitTrie, PacketGenerator,
+    TrafficMix,
+};
+use nw_mapping::{GreedyLoadMapper, Mapper, MappingProblem, PeSlot, SimulatedAnnealingMapper};
+use nw_noc::{run_open_loop, OpenLoopConfig, TopologyKind};
+use nw_types::{NodeId, ObjectId};
+
+fn bench_noc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noc_open_loop");
+    let cfg = OpenLoopConfig {
+        offered_load: 0.10,
+        warmup: 200,
+        measure: 2_000,
+        ..OpenLoopConfig::default()
+    };
+    for kind in [
+        TopologyKind::SharedBus,
+        TopologyKind::Ring,
+        TopologyKind::Mesh,
+        TopologyKind::FatTree,
+        TopologyKind::Crossbar,
+    ] {
+        g.throughput(Throughput::Elements(cfg.measure));
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| run_open_loop(kind, 16, &cfg).expect("valid config"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lpm_lookup");
+    let routes = 16_384;
+    let cfg = RouteTableConfig { routes, seed: 7 };
+
+    let mut linear = LinearTable::new();
+    let prefixes = synthetic_table(&mut linear, &cfg);
+    let mut bin = BinaryTrie::new();
+    synthetic_table(&mut bin, &cfg);
+    let mut mb4 = MultibitTrie::new(4);
+    synthetic_table(&mut mb4, &cfg);
+    let mut mb8 = MultibitTrie::new(8);
+    synthetic_table(&mut mb8, &cfg);
+    let mut cam = CamTable::new();
+    synthetic_table(&mut cam, &cfg);
+
+    let probes: Vec<u32> = prefixes.iter().take(1024).map(|p| p.addr | 1).collect();
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    let run = |t: &dyn LpmTable, probes: &[u32]| -> u64 {
+        probes.iter().filter(|&&a| t.lookup(a).is_some()).count() as u64
+    };
+    g.bench_function("binary_trie", |b| b.iter(|| run(&bin, &probes)));
+    g.bench_function("multibit_stride4", |b| b.iter(|| run(&mb4, &probes)));
+    g.bench_function("multibit_stride8", |b| b.iter(|| run(&mb8, &probes)));
+    g.bench_function("tcam_model", |b| b.iter(|| run(&cam, &probes)));
+    g.finish();
+}
+
+fn bench_ipv4_datapath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipv4_datapath");
+    let prefixes = {
+        let mut t = LinearTable::new();
+        synthetic_table(&mut t, &RouteTableConfig { routes: 256, seed: 3 })
+    };
+    let mut gen = PacketGenerator::new(prefixes, TrafficMix::WorstCase, 1);
+    let packets: Vec<Vec<u8>> = (0..1024).map(|_| gen.next_packet()).collect();
+    g.throughput(Throughput::Elements(packets.len() as u64));
+    g.bench_function("parse_validate", |b| {
+        b.iter(|| {
+            packets
+                .iter()
+                .filter(|p| Ipv4Header::parse(p).is_ok())
+                .count()
+        })
+    });
+    g.bench_function("parse_ttl_rewrite", |b| {
+        b.iter(|| {
+            let mut ok = 0;
+            for p in &packets {
+                let mut h = Ipv4Header::parse(p).expect("generated packets are valid");
+                if h.decrement_ttl().is_ok() {
+                    ok += usize::from(h.to_bytes()[8] > 0);
+                }
+            }
+            ok
+        })
+    });
+    g.finish();
+}
+
+fn bench_dsoc_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dsoc_wire");
+    let msg = Message::invocation(ObjectId(7), MethodId(2), 99, vec![0xAB; 40]);
+    let bytes = msg.encode();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| msg.encode()));
+    g.bench_function("decode", |b| {
+        b.iter(|| Message::decode(&bytes).expect("roundtrip"))
+    });
+    g.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapping");
+    let (app, _) = nw_ipv4::app::fast_path_app(4, &nw_ipv4::app::FastPathWeights::default())
+        .expect("valid app");
+    let n = 8usize;
+    let hops: Vec<Vec<f64>> = (0..n)
+        .map(|a| (0..n).map(|b| ((a as i64 - b as i64).abs()) as f64).collect())
+        .collect();
+    let problem = MappingProblem::new(
+        app,
+        vec![0.002; 4],
+        (0..n).map(|i| PeSlot::new(NodeId(i), 1.0)).collect(),
+        hops,
+    )
+    .expect("valid problem");
+    g.bench_function("greedy", |b| b.iter(|| GreedyLoadMapper.map(&problem)));
+    g.bench_function("simulated_annealing_5k", |b| {
+        b.iter(|| {
+            SimulatedAnnealingMapper {
+                iterations: 5_000,
+                ..SimulatedAnnealingMapper::default()
+            }
+            .map(&problem)
+        })
+    });
+    g.finish();
+}
+
+fn bench_platform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("platform");
+    g.sample_size(10);
+    g.bench_function("ipv4_rig_5k_cycles", |b| {
+        b.iter(|| {
+            let mut rig = ipv4_rig(4, 8, TopologyKind::Mesh, 2, 2.5);
+            rig.platform.run(5_000).tasks_completed
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_noc,
+    bench_lpm,
+    bench_ipv4_datapath,
+    bench_dsoc_wire,
+    bench_mapping,
+    bench_platform
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! `expt` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! expt all            # every experiment, DESIGN.md order
+//! expt t3 f6          # selected experiments
+//! expt --fast all     # smaller simulation windows
+//! ```
+
+use nw_bench::experiments::{run_by_id, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--fast")
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() {
+        eprintln!("usage: expt [--fast] <all | {}>", ALL_IDS.join(" | "));
+        std::process::exit(2);
+    }
+    let selected: Vec<&str> = if ids.contains(&"all") {
+        ALL_IDS.to_vec()
+    } else {
+        ids
+    };
+    for id in selected {
+        match run_by_id(id, fast) {
+            Some(out) => {
+                println!("{out}");
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! F3 — HW vs SW complexity growth (claim C3, paper §6).
+//!
+//! 56%/yr transistor growth versus 140%/yr embedded-software growth, with
+//! software effort overtaking hardware design effort around the paper's
+//! publication.
+
+use crate::Table;
+use nw_econ::{hw_design_effort, hw_transistors, risc_cores_in, sw_complexity, sw_overtakes_hw_year};
+
+/// Structured result.
+#[derive(Debug)]
+pub struct F3Result {
+    /// (year, transistors, hw effort, sw effort) series.
+    pub series: Vec<(u32, f64, f64, f64)>,
+    /// Year software effort reaches 10× hardware effort.
+    pub sw_10x_year: u32,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// Runs F3 over 1998–2010.
+pub fn run() -> F3Result {
+    let mut t = Table::new(&[
+        "year",
+        "SoC transistors",
+        "RISC cores fit",
+        "HW effort",
+        "SW effort",
+        "SW/HW",
+    ]);
+    let mut series = Vec::new();
+    for year in (1998..=2010).step_by(2) {
+        let tr = hw_transistors(year);
+        let hw = hw_design_effort(year);
+        let sw = sw_complexity(year);
+        series.push((year, tr, hw, sw));
+        t.row_owned(vec![
+            year.to_string(),
+            format!("{:.0}M", tr / 1e6),
+            format!("{:.0}", risc_cores_in(tr)),
+            format!("{hw:.1}"),
+            format!("{sw:.1}"),
+            format!("{:.1}x", sw / hw),
+        ]);
+    }
+    let sw_10x_year = sw_overtakes_hw_year(10.0);
+    F3Result {
+        series,
+        sw_10x_year,
+        table: format!(
+            "F3  HW (56%/yr) vs embedded-SW (140%/yr) complexity growth (paper §6)\n{}SW reaches 10x HW effort in {sw_10x_year}\n",
+            t.render()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        let r = run();
+        // 2002-2004: >100M transistors, >1000 cores (paper §1).
+        let (_, tr2004, _, _) = r.series.iter().find(|s| s.0 == 2004).copied().unwrap();
+        assert!(tr2004 > 100e6);
+        assert!(risc_cores_in(tr2004) > 1000.0);
+        // SW pulls away monotonically.
+        for w in r.series.windows(2) {
+            assert!(w[1].3 / w[1].2 > w[0].3 / w[0].2);
+        }
+        assert!((2001..=2005).contains(&r.sw_10x_year));
+    }
+}

@@ -1,0 +1,70 @@
+//! F5 — cross-chip wire delay (claim C5, paper §6.1 citing [12]).
+//!
+//! "In 50 nm technologies, it is predicted that the intra-chip propagation
+//! delay will be between six and ten clock cycles."
+
+use crate::Table;
+use nw_econ::{cross_chip_delay_cycles, wire_delay_ps_per_mm};
+use nw_types::TechNode;
+
+/// Structured result.
+#[derive(Debug)]
+pub struct F5Result {
+    /// (node, ps/mm, clock GHz, cross-chip cycles).
+    pub rows: Vec<(TechNode, f64, f64, f64)>,
+    /// The 50 nm cross-chip figure.
+    pub cycles_at_50nm: f64,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// Runs F5 for a 20 mm cross-chip route.
+pub fn run() -> F5Result {
+    let nodes = [
+        TechNode::N350,
+        TechNode::N250,
+        TechNode::N180,
+        TechNode::N130,
+        TechNode::N90,
+        TechNode::N65,
+        TechNode::N50,
+        TechNode::N45,
+    ];
+    let mut t = Table::new(&["node", "wire ps/mm", "clock", "20mm cross-chip"]);
+    let mut rows = Vec::new();
+    for node in nodes {
+        let ps = wire_delay_ps_per_mm(node);
+        let clk = node.nominal_clock_hz();
+        let cyc = cross_chip_delay_cycles(node, 20.0);
+        rows.push((node, ps, clk / 1e9, cyc));
+        t.row_owned(vec![
+            node.to_string(),
+            format!("{ps:.0}"),
+            format!("{:.2}GHz", clk / 1e9),
+            format!("{cyc:.2} cycles"),
+        ]);
+    }
+    let cycles_at_50nm = cross_chip_delay_cycles(TechNode::N50, 20.0);
+    F5Result {
+        rows,
+        cycles_at_50nm,
+        table: format!(
+            "F5  Cross-chip propagation delay (paper §6.1: 6-10 cycles at 50nm)\n{}",
+            t.render()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_nm_window_and_monotonic_growth() {
+        let r = run();
+        assert!((6.0..=10.0).contains(&r.cycles_at_50nm), "{}", r.cycles_at_50nm);
+        for w in r.rows.windows(2) {
+            assert!(w[1].3 > w[0].3, "cycles must grow down the ladder");
+        }
+    }
+}

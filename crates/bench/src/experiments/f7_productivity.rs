@@ -1,0 +1,79 @@
+//! F7 — design productivity beyond 130 nm (paper §2).
+//!
+//! "It could be argued that for 90nm technologies and beyond, the design
+//! productivity (transistors designed per man-year) will actually decline
+//! due to the new deep submicron effects" — the paper's core argument for
+//! the platform methodology. The table compares the evolutionary curve
+//! (tool gains minus a compounding deep-submicron closure tax) against the
+//! platform curve (tax paid once per platform).
+
+use crate::Table;
+use nw_econ::{evolutionary_peak, evolutionary_productivity, platform_productivity};
+use nw_types::TechNode;
+
+/// Structured result.
+#[derive(Debug)]
+pub struct F7Result {
+    /// (node, evolutionary Mtr/man-yr, platform Mtr/man-yr).
+    pub rows: Vec<(TechNode, f64, f64)>,
+    /// Node where the evolutionary curve peaks.
+    pub peak: TechNode,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// Runs F7 across the ladder.
+pub fn run() -> F7Result {
+    let mut t = Table::new(&[
+        "node",
+        "evolutionary (Mtr/man-yr)",
+        "platform (Mtr/man-yr)",
+        "platform advantage",
+    ]);
+    let mut rows = Vec::new();
+    for node in TechNode::LADDER {
+        let evo = evolutionary_productivity(node) / 1e6;
+        let plat = platform_productivity(node) / 1e6;
+        rows.push((node, evo, plat));
+        t.row_owned(vec![
+            node.to_string(),
+            format!("{evo:.2}"),
+            format!("{plat:.2}"),
+            format!("x{:.2}", plat / evo),
+        ]);
+    }
+    let peak = evolutionary_peak();
+    F7Result {
+        rows,
+        peak,
+        table: format!(
+            "F7  Design productivity vs node (paper §2: decline at 90nm and beyond)\n{}Evolutionary methodology peaks at {peak}\n",
+            t.render()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decline_starts_where_the_paper_says() {
+        let r = run();
+        assert_eq!(r.peak, TechNode::N130);
+        // Monotone decline after the peak on the evolutionary curve.
+        let after_peak: Vec<f64> = r
+            .rows
+            .iter()
+            .filter(|(n, _, _)| n.ladder_position() >= TechNode::N130.ladder_position())
+            .map(|&(_, e, _)| e)
+            .collect();
+        for w in after_peak.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        // The platform curve never declines.
+        for w in r.rows.windows(2) {
+            assert!(w[1].2 > w[0].2);
+        }
+    }
+}

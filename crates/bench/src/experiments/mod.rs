@@ -1,0 +1,46 @@
+//! One module per reproduced table/figure. See `DESIGN.md` §4 for the
+//! mapping from experiment id to paper claim.
+
+pub mod f1_continuum;
+pub mod f2_fppa_tour;
+pub mod f3_growth;
+pub mod f4_topology;
+pub mod f5_wire_delay;
+pub mod f6_latency_hiding;
+pub mod f7_productivity;
+pub mod t1_mask_nre;
+pub mod t2_breakeven;
+pub mod t3_ipv4;
+pub mod t4_efpga;
+pub mod t5_lpm;
+pub mod t6_mapping;
+pub mod t7_continuum_cost;
+
+/// Runs one experiment by id and returns its rendered output.
+///
+/// `fast` shrinks simulation windows for CI-speed runs.
+pub fn run_by_id(id: &str, fast: bool) -> Option<String> {
+    let out = match id {
+        "t1" => t1_mask_nre::run().table,
+        "t2" => t2_breakeven::run().table,
+        "f3" => f3_growth::run().table,
+        "f4" => f4_topology::run(fast).table,
+        "f5" => f5_wire_delay::run().table,
+        "f6" => f6_latency_hiding::run(fast).table,
+        "f7" => f7_productivity::run().table,
+        "t3" => t3_ipv4::run(fast).table,
+        "t4" => t4_efpga::run().table,
+        "t5" => t5_lpm::run(fast).table,
+        "t6" => t6_mapping::run(fast).table,
+        "t7" => t7_continuum_cost::run().table,
+        "f1" => f1_continuum::run().table,
+        "f2" => f2_fppa_tour::run(fast).table,
+        _ => return None,
+    };
+    Some(out)
+}
+
+/// All experiment ids in DESIGN.md order.
+pub const ALL_IDS: [&str; 14] = [
+    "t1", "t2", "f3", "f4", "f5", "f6", "f7", "t3", "t4", "t5", "t6", "t7", "f1", "f2",
+];

@@ -1,0 +1,59 @@
+//! T1 — mask-set NRE trend (claim C1, paper §1).
+//!
+//! "The SoC mask set manufacturing NRE cost has been multiplied by a factor
+//! of ten in about three process technology generations, exceeding 1M$ for
+//! current 90nm process."
+
+use crate::Table;
+use nw_econ::mask_set_nre;
+use nw_types::TechNode;
+
+/// Structured result.
+#[derive(Debug)]
+pub struct T1Result {
+    /// (node, mask NRE in $M) per ladder node.
+    pub rows: Vec<(TechNode, f64)>,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// Runs T1.
+pub fn run() -> T1Result {
+    let mut t = Table::new(&["node", "mask-set NRE", "x vs 3 gens earlier"]);
+    let mut rows = Vec::new();
+    for node in TechNode::LADDER {
+        let nre = mask_set_nre(node);
+        rows.push((node, nre.millions()));
+        let three_back = TechNode::LADDER
+            .iter()
+            .find(|n| n.generations_until(node) == 3)
+            .map(|&n| nre.0 / mask_set_nre(n).0);
+        t.row_owned(vec![
+            node.to_string(),
+            nre.to_string(),
+            three_back.map_or("-".into(), |r| format!("x{r:.1}")),
+        ]);
+    }
+    T1Result {
+        rows,
+        table: format!(
+            "T1  Mask-set NRE by node (paper: x10 per ~3 generations, >$1M at 90nm)\n{}",
+            t.render()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_and_growth_match_the_paper() {
+        let r = run();
+        let at90 = r.rows.iter().find(|(n, _)| *n == TechNode::N90).unwrap().1;
+        assert!((at90 - 1.0).abs() < 1e-9, "$1M at 90nm");
+        let at250 = r.rows.iter().find(|(n, _)| *n == TechNode::N250).unwrap().1;
+        assert!((at90 / at250 - 10.0).abs() < 1e-6, "x10 in 3 generations");
+        assert!(r.table.contains("x10.0"));
+    }
+}

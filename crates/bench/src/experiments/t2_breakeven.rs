@@ -1,0 +1,71 @@
+//! T2 — break-even volumes (claim C2, paper §1).
+//!
+//! "For a chip sold at a price of $5, and a profit margin of 20%, this
+//! implies selling over one million chips simply to pay for the mask set
+//! NRE … design NRE, which ranges from 10M$ to 100M$ … implies volumes of
+//! 10 to 100 million chips to break even."
+
+use crate::Table;
+use nw_econ::{break_even_volume, design_nre, mask_set_nre};
+use nw_types::{Dollars, TechNode};
+
+/// Structured result.
+#[derive(Debug)]
+pub struct T2Result {
+    /// Mask-only break-even units at 90 nm.
+    pub mask_only_units: f64,
+    /// Design-NRE break-even range (low, high) at 130 nm.
+    pub design_units: (f64, f64),
+    /// Rendered table.
+    pub table: String,
+}
+
+/// Runs T2 with the paper's $5 price and 20% margin.
+pub fn run() -> T2Result {
+    let price = Dollars(5.0);
+    let margin = 0.20;
+    let mask_only = break_even_volume(mask_set_nre(TechNode::N90), price, margin);
+    let lo = break_even_volume(design_nre(TechNode::N130, 0.0), price, margin);
+    let hi = break_even_volume(design_nre(TechNode::N130, 1.0), price, margin);
+
+    let mut t = Table::new(&["cost item", "NRE", "break-even units", "paper says"]);
+    t.row_owned(vec![
+        "mask set @90nm".into(),
+        mask_set_nre(TechNode::N90).to_string(),
+        format!("{:.2}M", mask_only / 1e6),
+        ">1M".into(),
+    ]);
+    t.row_owned(vec![
+        "design (modest) @130nm".into(),
+        design_nre(TechNode::N130, 0.0).to_string(),
+        format!("{:.0}M", lo / 1e6),
+        "10M".into(),
+    ]);
+    t.row_owned(vec![
+        "design (flagship) @130nm".into(),
+        design_nre(TechNode::N130, 1.0).to_string(),
+        format!("{:.0}M", hi / 1e6),
+        "100M".into(),
+    ]);
+    T2Result {
+        mask_only_units: mask_only,
+        design_units: (lo, hi),
+        table: format!(
+            "T2  Break-even volumes at $5/chip, 20% margin (paper §1)\n{}",
+            t.render()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_papers_arithmetic() {
+        let r = run();
+        assert!((r.mask_only_units - 1e6).abs() < 1.0);
+        assert!((r.design_units.0 - 10e6).abs() < 10.0);
+        assert!((r.design_units.1 - 100e6).abs() < 100.0);
+    }
+}

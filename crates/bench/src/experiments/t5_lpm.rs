@@ -1,0 +1,145 @@
+//! T5 — SRAM-trie LPM versus CAM (claim C9, paper §8 citing NPSE [9]).
+//!
+//! "In comparison with CAM-based look-up methods, it relies on an
+//! SRAM-based approach that is more memory and power-efficient."
+//!
+//! The comparison: storage bits (scaled by the TCAM cell-area ratio for a
+//! fair silicon comparison), worst-case memory accesses per lookup, and
+//! energy per search, across table sizes — plus the stride ablation for the
+//! multibit trie.
+
+use crate::Table;
+use nw_ipv4::routes::{synthetic_table, RouteTableConfig};
+use nw_ipv4::{BinaryTrie, CamTable, LpmTable, MultibitTrie};
+
+/// One engine × table-size measurement.
+#[derive(Debug, Clone)]
+pub struct LpmRow {
+    /// Engine name.
+    pub engine: String,
+    /// Routes installed.
+    pub routes: usize,
+    /// Storage megabits (SRAM-equivalent silicon for the CAM row).
+    pub silicon_mbits: f64,
+    /// Worst-case memory accesses per lookup.
+    pub accesses: u32,
+    /// Energy per lookup in pJ.
+    pub energy_pj: f64,
+}
+
+/// Structured result.
+#[derive(Debug)]
+pub struct T5Result {
+    /// All measurements.
+    pub rows: Vec<LpmRow>,
+    /// Rendered table.
+    pub table: String,
+}
+
+fn measure<T: LpmTable>(mut engine: T, routes: usize, seed: u64) -> LpmRow {
+    let cfg = RouteTableConfig { routes, seed };
+    let _prefixes = synthetic_table(&mut engine, &cfg);
+    let tcam = engine.name() == "tcam";
+    let silicon_ratio = if tcam { CamTable::AREA_RATIO_VS_SRAM } else { 1.0 };
+    LpmRow {
+        engine: engine.name().to_string(),
+        routes,
+        silicon_mbits: engine.storage_bits() as f64 * silicon_ratio / 1e6,
+        accesses: engine.worst_case_accesses(),
+        energy_pj: engine.lookup_energy_pj(),
+    }
+}
+
+/// Runs T5 over 1k/4k/16k routes (plus 64k when not `fast`).
+pub fn run(fast: bool) -> T5Result {
+    let sizes: &[usize] = if fast { &[1_000, 4_000, 16_000] } else { &[1_000, 4_000, 16_000, 64_000] };
+    let mut rows = Vec::new();
+    let mut t = Table::new(&[
+        "routes",
+        "engine",
+        "silicon (SRAM-eq Mbit)",
+        "accesses/lookup",
+        "energy/lookup",
+    ]);
+    for &n in sizes {
+        let engines: Vec<LpmRow> = vec![
+            measure(BinaryTrie::new(), n, 42),
+            measure(MultibitTrie::new(2), n, 42),
+            measure(MultibitTrie::new(4), n, 42),
+            measure(MultibitTrie::new(8), n, 42),
+            measure(CamTable::new(), n, 42),
+        ];
+        for e in engines {
+            t.row_owned(vec![
+                n.to_string(),
+                if e.engine == "multibit-trie" {
+                    // Distinguish strides: re-derive from access count.
+                    format!("{} (stride {})", e.engine, 32 / e.accesses)
+                } else {
+                    e.engine.clone()
+                },
+                format!("{:.2}", e.silicon_mbits),
+                e.accesses.to_string(),
+                format!("{:.1}pJ", e.energy_pj),
+            ]);
+            rows.push(e);
+        }
+    }
+    T5Result {
+        rows,
+        table: format!(
+            "T5  LPM engines: SRAM tries vs ternary CAM (paper §8, NPSE [9])\n{}",
+            t.render()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_trie_beats_cam_on_energy_and_scales_flat() {
+        let r = run(true);
+        let at = |engine: &str, accesses: u32, n: usize| {
+            r.rows
+                .iter()
+                .find(|row| row.engine == engine && row.routes == n && (accesses == 0 || row.accesses == accesses))
+                .cloned()
+                .unwrap()
+        };
+        for &n in &[1_000usize, 16_000] {
+            let trie = at("multibit-trie", 8, n); // stride 4
+            let cam = at("tcam", 0, n);
+            // C9: the SRAM approach is more power-efficient.
+            assert!(
+                cam.energy_pj > 10.0 * trie.energy_pj,
+                "n={n}: cam {} vs trie {}",
+                cam.energy_pj,
+                trie.energy_pj
+            );
+        }
+        // CAM search energy grows linearly with the table; the trie's is flat.
+        let trie_small = at("multibit-trie", 8, 1_000).energy_pj;
+        let trie_big = at("multibit-trie", 8, 16_000).energy_pj;
+        assert!((trie_big - trie_small).abs() < 1e-9);
+        let cam_small = at("tcam", 0, 1_000).energy_pj;
+        let cam_big = at("tcam", 0, 16_000).energy_pj;
+        assert!(cam_big > 10.0 * cam_small);
+    }
+
+    #[test]
+    fn stride_tradeoff_is_visible() {
+        let r = run(true);
+        let n = 16_000;
+        let strides: Vec<&LpmRow> = r
+            .rows
+            .iter()
+            .filter(|row| row.engine == "multibit-trie" && row.routes == n)
+            .collect();
+        // Larger stride → fewer accesses but more expanded memory.
+        assert!(strides[0].accesses > strides[1].accesses);
+        assert!(strides[1].accesses > strides[2].accesses);
+        assert!(strides[2].silicon_mbits > strides[0].silicon_mbits);
+    }
+}

@@ -1,0 +1,81 @@
+//! T7 — the NRE–flexibility continuum (claim C11, paper §1).
+//!
+//! FPGA / structured array / platform SoC / cell ASIC: NRE, unit cost,
+//! flexibility, and the volume crossovers between neighboring styles.
+
+use crate::Table;
+use nw_econ::{crossover_volume, ImplStyle};
+use nw_types::{Dollars, TechNode};
+
+/// Structured result.
+#[derive(Debug)]
+pub struct T7Result {
+    /// (style, product NRE $M, unit-cost factor, flexibility).
+    pub rows: Vec<(ImplStyle, f64, f64, f64)>,
+    /// Crossover volumes between continuum neighbors.
+    pub crossovers: Vec<(ImplStyle, ImplStyle, f64)>,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// Runs T7 at 90 nm with a 10-product platform family and $5 baseline
+/// silicon cost.
+pub fn run() -> T7Result {
+    let node = TechNode::N90;
+    let family = 10.0;
+    let unit = Dollars(5.0);
+
+    let mut t = Table::new(&["style", "product NRE", "unit-cost factor", "flexibility"]);
+    let mut rows = Vec::new();
+    for s in ImplStyle::ALL {
+        let nre = s.product_nre(node, family);
+        rows.push((s, nre.millions(), s.unit_cost_factor(), s.flexibility()));
+        t.row_owned(vec![
+            s.to_string(),
+            nre.to_string(),
+            format!("{:.1}x", s.unit_cost_factor()),
+            format!("{:.0}%", s.flexibility() * 100.0),
+        ]);
+    }
+    let mut xt = Table::new(&["cheaper below", "cheaper above", "crossover volume"]);
+    let mut crossovers = Vec::new();
+    for w in ImplStyle::ALL.windows(2) {
+        if let Some(v) = crossover_volume(w[0], w[1], node, family, unit) {
+            crossovers.push((w[0], w[1], v));
+            xt.row_owned(vec![
+                w[0].to_string(),
+                w[1].to_string(),
+                format!("{:.2}M units", v / 1e6),
+            ]);
+        }
+    }
+    T7Result {
+        rows,
+        crossovers,
+        table: format!(
+            "T7  NRE-flexibility continuum at 90nm, 10-product family (paper §1)\n{}\nVolume crossovers ($5 baseline unit cost):\n{}",
+            t.render(),
+            xt.render()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuum_shape() {
+        let r = run();
+        assert_eq!(r.rows.len(), 4);
+        // NRE ascends, unit cost descends along the continuum.
+        for w in r.rows.windows(2) {
+            assert!(w[0].1 < w[1].1);
+            assert!(w[0].2 > w[1].2);
+        }
+        // Every neighboring pair crosses, at increasing volumes.
+        assert_eq!(r.crossovers.len(), 3);
+        assert!(r.crossovers[0].2 < r.crossovers[1].2);
+        assert!(r.crossovers[1].2 < r.crossovers[2].2);
+    }
+}

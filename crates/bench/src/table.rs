@@ -1,0 +1,129 @@
+//! Minimal aligned-column table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use nw_bench::Table;
+///
+/// let mut t = Table::new(&["node", "mask NRE"]);
+/// t.row(&["90nm", "$1.00M"]);
+/// let s = t.render();
+/// assert!(s.contains("90nm"));
+/// assert!(s.lines().count() >= 3); // header, rule, one row
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: &[&str]) {
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends one row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut width = vec![0usize; cols];
+        let mut measure = |cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        };
+        measure(&self.header);
+        for r in &self.rows {
+            measure(r);
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String], width: &[usize]| {
+            for (i, w) in width.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:<w$}");
+                if i + 1 < width.len() {
+                    out.push_str("  ");
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header, &width);
+        let rule: Vec<String> = width.iter().map(|w| "-".repeat(*w)).collect();
+        emit(&mut out, &rule, &width);
+        for r in &self.rows {
+            emit(&mut out, r, &width);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["xxxxxx", "1"]);
+        t.row(&["y", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The second column starts at the same offset everywhere.
+        let col = lines[0].find("long-header").unwrap();
+        assert_eq!(lines[2].rfind('1').unwrap(), col);
+        assert_eq!(lines[3].rfind('2').unwrap(), col);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(&["only"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains('1'));
+    }
+}

@@ -1,0 +1,77 @@
+//! nanowall — the FPPA platform of "System-on-Chip Beyond the Nanometer
+//! Wall" (Magarshack & Paulin, DAC 2003), reproduced as a Rust library.
+//!
+//! The paper's Figure 2 sketches a *Field-Programmable Processor Array*
+//! (FPPA): configurable multi-threaded processors, a network-on-chip, an
+//! embedded FPGA, standardized hardware IP and line-rate I/O — programmed
+//! through the DSOC distributed-object model and mapped automatically by
+//! MultiFlex-style tools. This crate assembles exactly that system from the
+//! workspace substrates:
+//!
+//! * [`config`] — [`FppaConfig`]: declare the platform (topology, technology
+//!   node, PEs, memories, eFPGA, hardware IP, I/O channels).
+//! * [`platform`] — [`FppaPlatform`]: the cycle-stepped machine, with every
+//!   node class serviced behind the NoC.
+//! * [`runtime`] — the DSOC runtime: installs an application + placement,
+//!   synthesizes PE micro-op handler programs per invocation, marshals
+//!   messages over the NoC, dispatches onto hardware threads, and services
+//!   replies.
+//! * [`report`] — [`PlatformReport`]: utilization, throughput, latency and
+//!   energy after a run.
+//! * [`scenarios`] — prebuilt rigs for the paper's experiments (the IPv4
+//!   fast path at 10 Gb/s, the latency-hiding sweep, the Figure 2 tour).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nanowall::prelude::*;
+//!
+//! // A small FPPA: 4 dual-threaded RISC cores on a mesh.
+//! let mut cfg = FppaConfig::new("quickstart", TopologyKind::Mesh);
+//! for _ in 0..4 {
+//!     cfg.add_pe(PeConfig::new(PeClass::GpRisc, 2));
+//! }
+//!
+//! // A two-object ping-pong application.
+//! let mut b = Application::builder("pingpong");
+//! let ping = b.add_object(ObjectDef::new("ping").with_method(
+//!     MethodDef::oneway("go", 16).with_compute(50),
+//! ));
+//! let pong = b.add_object(ObjectDef::new("pong").with_method(
+//!     MethodDef::oneway("ack", 16).with_compute(50),
+//! ));
+//! b.connect(ping, 0, pong, 0, 1.0);
+//! b.entry(ping, 0);
+//! let app = b.build()?;
+//!
+//! let mut platform = FppaPlatform::new(cfg)?;
+//! platform.install_app(&app, &[0, 3])?;           // ping on pe0, pong on pe3
+//! platform.drive_entry(ping, 0.01);               // 1 invocation / 100 cycles
+//! let report = platform.run(20_000);
+//! assert!(report.tasks_completed > 300);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod config;
+pub mod platform;
+pub mod report;
+pub mod runtime;
+pub mod scenarios;
+pub mod tags;
+
+pub use config::{BuildPlatformError, FppaConfig, HwIpConfig, MemoryBlockConfig};
+pub use platform::{FppaPlatform, NodeRole};
+pub use report::PlatformReport;
+pub use runtime::InstallError;
+
+/// The convenient single import for examples and experiments.
+pub mod prelude {
+    pub use crate::{FppaConfig, FppaPlatform, NodeRole, PlatformReport};
+    pub use nw_dsoc::{Application, Domain, MethodDef, ObjectDef};
+    pub use nw_fabric::{FabricSpec, KernelSpec};
+    pub use nw_hwip::{IoChannel, IoChannelConfig};
+    pub use nw_mem::MemoryTechnology;
+    pub use nw_noc::{NocConfig, TopologyKind};
+    pub use nw_pe::{PeClass, PeConfig, SchedPolicy};
+    pub use nw_types::{Cycles, NodeId, ObjectId, TechNode};
+}

@@ -1,0 +1,613 @@
+//! The cycle-stepped FPPA platform.
+//!
+//! [`FppaPlatform`] wires every substrate together behind one NoC: PEs raise
+//! [`PeRequest`]s that become packets, service nodes (memory, eFPGA,
+//! hardwired IP) answer tagged requests, I/O channels pace ingress traffic
+//! at line rate and absorb egress, and the DSOC runtime (in
+//! [`runtime`](crate::runtime)) dispatches marshalled invocations onto
+//! hardware threads.
+//!
+//! Within each cycle the platform advances in a fixed order — I/O pacing,
+//! ingress injection, NoC, arrival routing, service nodes, DSOC dispatch,
+//! PEs, request servicing, and the injection retry queue — which makes whole
+//! runs bit-reproducible.
+//!
+//! [`PeRequest`]: nw_pe::PeRequest
+
+use crate::config::{BuildPlatformError, FppaConfig};
+use crate::report::PlatformReport;
+use crate::runtime::Runtime;
+use crate::tags::{is_reply, RequestTag};
+use nw_fabric::Efpga;
+use nw_hwip::{HwIpBlock, IoChannel};
+use nw_mem::{MemRequest, MemoryController, MemorySpec, ReqKind};
+use nw_noc::{Noc, Topology};
+use nw_pe::{Pe, PeRequest};
+use nw_sim::{Clock, Clocked};
+use nw_types::{AreaMm2, Cycles, NodeId, PeId, Picojoules};
+use std::collections::{HashMap, VecDeque};
+
+/// What sits at one NoC endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Processing element (index into the PE list).
+    Pe(usize),
+    /// Memory controller.
+    Memory(usize),
+    /// Embedded FPGA fabric.
+    Fabric(usize),
+    /// Hardwired IP block.
+    HwIp(usize),
+    /// I/O channel.
+    Io(usize),
+}
+
+/// A packet queued for injection (with retry-on-backpressure).
+#[derive(Debug)]
+pub(crate) struct Outgoing {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub data: Vec<u8>,
+    pub tag: u64,
+    /// Thread to complete once the NI accepts the packet (async sends).
+    pub on_accept: Option<(PeId, nw_types::ThreadId)>,
+}
+
+/// The assembled platform.
+///
+/// See the [crate-level documentation](crate) for a quickstart.
+#[derive(Debug)]
+pub struct FppaPlatform {
+    cfg: FppaConfig,
+    noc: Noc,
+    pes: Vec<Pe>,
+    mems: Vec<MemoryController>,
+    fabrics: Vec<Efpga>,
+    hwips: Vec<HwIpBlock>,
+    ios: Vec<IoChannel>,
+    roles: Vec<NodeRole>,
+    pe_nodes: Vec<NodeId>,
+    mem_nodes: Vec<NodeId>,
+    fabric_nodes: Vec<NodeId>,
+    hwip_nodes: Vec<NodeId>,
+    io_nodes: Vec<NodeId>,
+    clock: Clock,
+    outbox: VecDeque<Outgoing>,
+    /// In-flight service requests per memory: request id → (tag, reply-to).
+    mem_inflight: Vec<HashMap<u64, (u64, NodeId)>>,
+    /// Parked memory requests (bank queues full): (request, tag, reply-to).
+    mem_parked: Vec<VecDeque<(MemRequest, u64, NodeId)>>,
+    fabric_inflight: Vec<HashMap<u64, (u64, NodeId)>>,
+    fabric_parked: Vec<VecDeque<(u64, NodeId)>>,
+    hwip_inflight: Vec<HashMap<u64, (u64, NodeId)>>,
+    hwip_parked: Vec<VecDeque<(u64, NodeId)>>,
+    next_service_id: u64,
+    pub(crate) runtime: Option<Runtime>,
+}
+
+impl FppaPlatform {
+    /// Builds the platform from its configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildPlatformError::NoPes`] for an empty platform;
+    /// [`BuildPlatformError::Topology`] if the NoC cannot be built.
+    pub fn new(cfg: FppaConfig) -> Result<Self, BuildPlatformError> {
+        if cfg.pes.is_empty() {
+            return Err(BuildPlatformError::NoPes);
+        }
+        let n = cfg.n_endpoints();
+        let link_latency = cfg.effective_link_latency();
+        let topo = Topology::build(cfg.topology, n, link_latency)?;
+        // Credit-based flow control only keeps long links busy when the
+        // buffer pool covers the credit round trip (the latency-bandwidth
+        // product); undersized buffers cause tree saturation long before
+        // the wires are full.
+        let mut noc_cfg = cfg.noc;
+        noc_cfg.input_buffer = noc_cfg
+            .input_buffer
+            .max(4 + (link_latency + noc_cfg.router_delay) as usize / 2);
+        let noc = Noc::new(topo, noc_cfg);
+
+        let mut roles = Vec::with_capacity(n);
+        let mut pe_nodes = Vec::new();
+        let mut mem_nodes = Vec::new();
+        let mut fabric_nodes = Vec::new();
+        let mut hwip_nodes = Vec::new();
+        let mut io_nodes = Vec::new();
+
+        let pes: Vec<Pe> = cfg.pes.iter().cloned().map(Pe::new).collect();
+        for i in 0..pes.len() {
+            pe_nodes.push(NodeId(roles.len()));
+            roles.push(NodeRole::Pe(i));
+        }
+        let mems: Vec<MemoryController> = cfg
+            .memories
+            .iter()
+            .map(|m| MemoryController::new(MemorySpec::at_node(m.technology, cfg.tech), m.banks, m.queue_depth))
+            .collect();
+        for i in 0..mems.len() {
+            mem_nodes.push(NodeId(roles.len()));
+            roles.push(NodeRole::Memory(i));
+        }
+        let fabrics: Vec<Efpga> = cfg.fabrics.iter().map(|f| Efpga::new(*f)).collect();
+        for i in 0..fabrics.len() {
+            fabric_nodes.push(NodeId(roles.len()));
+            roles.push(NodeRole::Fabric(i));
+        }
+        let hwips: Vec<HwIpBlock> = cfg
+            .hwip
+            .iter()
+            .map(|h| HwIpBlock::new(&h.name, h.ii, h.latency, h.area, h.energy_per_item, 64))
+            .collect();
+        for i in 0..hwips.len() {
+            hwip_nodes.push(NodeId(roles.len()));
+            roles.push(NodeRole::HwIp(i));
+        }
+        let ios: Vec<IoChannel> = cfg.io.iter().map(|c| IoChannel::new(*c)).collect();
+        for i in 0..ios.len() {
+            io_nodes.push(NodeId(roles.len()));
+            roles.push(NodeRole::Io(i));
+        }
+
+        let n_mems = mems.len();
+        let n_fabrics = fabrics.len();
+        let n_hwips = hwips.len();
+        Ok(FppaPlatform {
+            cfg,
+            noc,
+            pes,
+            mems,
+            fabrics,
+            hwips,
+            ios,
+            roles,
+            pe_nodes,
+            mem_nodes,
+            fabric_nodes,
+            hwip_nodes,
+            io_nodes,
+            clock: Clock::new(),
+            outbox: VecDeque::new(),
+            mem_inflight: (0..n_mems).map(|_| HashMap::new()).collect(),
+            mem_parked: (0..n_mems).map(|_| VecDeque::new()).collect(),
+            fabric_inflight: (0..n_fabrics).map(|_| HashMap::new()).collect(),
+            fabric_parked: (0..n_fabrics).map(|_| VecDeque::new()).collect(),
+            hwip_inflight: (0..n_hwips).map(|_| HashMap::new()).collect(),
+            hwip_parked: (0..n_hwips).map(|_| VecDeque::new()).collect(),
+            next_service_id: 0,
+            runtime: None,
+        })
+    }
+
+    /// The configuration the platform was built from.
+    pub fn config(&self) -> &FppaConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycles {
+        self.clock.now()
+    }
+
+    /// The NoC node hosting PE `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn pe_node(&self, i: usize) -> NodeId {
+        self.pe_nodes[i]
+    }
+
+    /// The NoC node hosting memory `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn memory_node(&self, i: usize) -> NodeId {
+        self.mem_nodes[i]
+    }
+
+    /// The NoC node hosting eFPGA fabric `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn fabric_node(&self, i: usize) -> NodeId {
+        self.fabric_nodes[i]
+    }
+
+    /// The NoC node hosting hardwired IP `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn hwip_node(&self, i: usize) -> NodeId {
+        self.hwip_nodes[i]
+    }
+
+    /// The NoC node hosting I/O channel `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn io_node(&self, i: usize) -> NodeId {
+        self.io_nodes[i]
+    }
+
+    /// The role at an endpoint.
+    pub fn role(&self, node: NodeId) -> Option<NodeRole> {
+        self.roles.get(node.0).copied()
+    }
+
+    /// Direct access to a PE (inspection, custom program spawning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn pe(&self, i: usize) -> &Pe {
+        &self.pes[i]
+    }
+
+    /// Mutable access to a PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn pe_mut(&mut self, i: usize) -> &mut Pe {
+        &mut self.pes[i]
+    }
+
+    /// Direct access to an eFPGA fabric (configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn fabric_mut(&mut self, i: usize) -> &mut Efpga {
+        &mut self.fabrics[i]
+    }
+
+    /// Direct access to an I/O channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn io(&self, i: usize) -> &IoChannel {
+        &self.ios[i]
+    }
+
+    /// NoC hop-distance matrix over all endpoints (input for the MultiFlex
+    /// mappers).
+    pub fn hop_matrix(&self) -> Vec<Vec<f64>> {
+        let n = self.roles.len();
+        (0..n)
+            .map(|a| (0..n).map(|b| self.noc.topology().hops(a, b) as f64).collect())
+            .collect()
+    }
+
+    /// Total die area of the declared components (PE cores + memory macros +
+    /// fabrics + hardwired IP) at the configured node.
+    pub fn area(&self) -> AreaMm2 {
+        let pe_area: AreaMm2 = self.cfg.pes.iter().map(|p| p.class.core_area()).sum();
+        let mem_area: AreaMm2 = self
+            .cfg
+            .memories
+            .iter()
+            .map(|m| MemorySpec::at_node(m.technology, self.cfg.tech).macro_area(m.mbits))
+            .sum();
+        let fabric_area: AreaMm2 = self
+            .fabrics
+            .iter()
+            .filter_map(|f| f.kernel().map(|k| k.area))
+            .sum();
+        let hwip_area: AreaMm2 = self.hwips.iter().map(|h| h.area()).sum();
+        pe_area + mem_area + fabric_area + hwip_area
+    }
+
+    /// Runs the platform for `cycles` cycles and reports.
+    pub fn run(&mut self, cycles: u64) -> PlatformReport {
+        let start = self.clock.now();
+        for _ in 0..cycles {
+            self.step();
+        }
+        self.report(self.clock.now().saturating_sub(start))
+    }
+
+    /// Advances the platform by one cycle.
+    pub fn step(&mut self) {
+        let now = self.clock.now();
+
+        // 1. I/O pacing and ingress injection.
+        for i in 0..self.ios.len() {
+            self.ios[i].tick(now);
+        }
+        self.io_ingress(now);
+
+        // 2. The interconnect.
+        self.noc.tick(now);
+
+        // 3. Route arrivals.
+        self.route_arrivals(now);
+
+        // 4. Service nodes: memories, fabrics, hardwired IP.
+        self.tick_services(now);
+
+        // 5. DSOC drives and dispatch.
+        self.runtime_dispatch(now);
+
+        // 6. PEs execute; their requests become packets.
+        for i in 0..self.pes.len() {
+            self.pes[i].tick(now);
+        }
+        self.collect_pe_requests();
+
+        // 7. Flush the injection retry queue.
+        self.flush_outbox(now);
+
+        self.clock.advance();
+    }
+
+    /// Drains line-rate ingress into DSOC invocations (runtime present) or
+    /// discards descriptors (no app installed).
+    fn io_ingress(&mut self, now: Cycles) {
+        let Some(rt) = self.runtime.as_mut() else {
+            return;
+        };
+        for (i, io) in self.ios.iter_mut().enumerate() {
+            if !rt.io_has_bindings(i) {
+                continue;
+            }
+            let io_node = self.io_nodes[i];
+            // Only drain what the NI can take this cycle; the rest waits in
+            // the RX FIFO (and overflows are counted as line drops).
+            while self.noc.ni_free(io_node) > 0 {
+                let Some(_seq) = io.take_rx() else { break };
+                let (dst, data) = rt.ingress_invocation(i);
+                self.noc
+                    .try_inject(io_node, dst, data, 0, now)
+                    .expect("ni_free was checked");
+            }
+        }
+    }
+
+    fn route_arrivals(&mut self, now: Cycles) {
+        for node in 0..self.roles.len() {
+            while let Some(pkt) = self.noc.eject(NodeId(node)) {
+                match self.roles[node] {
+                    NodeRole::Pe(p) => {
+                        if is_reply(pkt.tag) {
+                            let t = RequestTag::decode(pkt.tag);
+                            self.pes[p].complete(t.tid);
+                        } else if let Some(rt) = self.runtime.as_mut() {
+                            rt.enqueue_invocation(p, &pkt);
+                        }
+                    }
+                    NodeRole::Memory(m) => {
+                        let t = RequestTag::decode(pkt.tag);
+                        let id = self.next_service_id;
+                        self.next_service_id += 1;
+                        let req = MemRequest {
+                            id,
+                            kind: ReqKind::Read,
+                            addr: id.wrapping_mul(MemoryController::INTERLEAVE),
+                            bytes: t.reply_bytes.max(1),
+                        };
+                        match self.mems[m].submit(req, now) {
+                            Ok(()) => {
+                                self.mem_inflight[m].insert(id, (pkt.tag, pkt.src));
+                            }
+                            Err(_) => {
+                                self.mem_parked[m].push_back((req, pkt.tag, pkt.src));
+                            }
+                        }
+                    }
+                    NodeRole::Fabric(f) => {
+                        let id = self.next_service_id;
+                        self.next_service_id += 1;
+                        match self.fabrics[f].try_submit(id, now) {
+                            Ok(()) => {
+                                self.fabric_inflight[f].insert(id, (pkt.tag, pkt.src));
+                            }
+                            Err(_) => {
+                                self.fabric_parked[f].push_back((pkt.tag, pkt.src));
+                            }
+                        }
+                    }
+                    NodeRole::HwIp(h) => {
+                        let id = self.next_service_id;
+                        self.next_service_id += 1;
+                        match self.hwips[h].try_submit(id, now) {
+                            Ok(()) => {
+                                self.hwip_inflight[h].insert(id, (pkt.tag, pkt.src));
+                            }
+                            Err(_) => {
+                                self.hwip_parked[h].push_back((pkt.tag, pkt.src));
+                            }
+                        }
+                    }
+                    NodeRole::Io(i) => {
+                        self.ios[i].transmit(pkt.wire_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    fn tick_services(&mut self, now: Cycles) {
+        // Memories: retry parked, tick, answer completions.
+        for m in 0..self.mems.len() {
+            while let Some(&(req, tag, src)) = self.mem_parked[m].front() {
+                if self.mems[m].submit(req, now).is_ok() {
+                    self.mem_inflight[m].insert(req.id, (tag, src));
+                    self.mem_parked[m].pop_front();
+                } else {
+                    break;
+                }
+            }
+            self.mems[m].tick(now);
+            while let Some(resp) = self.mems[m].take_response() {
+                if let Some((tag, reply_to)) = self.mem_inflight[m].remove(&resp.id) {
+                    self.push_service_reply(self.mem_nodes[m], reply_to, tag);
+                }
+            }
+        }
+        for f in 0..self.fabrics.len() {
+            while let Some(&(tag, src)) = self.fabric_parked[f].front() {
+                let id = self.next_service_id;
+                if self.fabrics[f].try_submit(id, now).is_ok() {
+                    self.next_service_id += 1;
+                    self.fabric_inflight[f].insert(id, (tag, src));
+                    self.fabric_parked[f].pop_front();
+                } else {
+                    break;
+                }
+            }
+            self.fabrics[f].tick(now);
+            while let Some(id) = self.fabrics[f].take_done() {
+                if let Some((tag, reply_to)) = self.fabric_inflight[f].remove(&id) {
+                    self.push_service_reply(self.fabric_nodes[f], reply_to, tag);
+                }
+            }
+        }
+        for h in 0..self.hwips.len() {
+            while let Some(&(tag, src)) = self.hwip_parked[h].front() {
+                let id = self.next_service_id;
+                if self.hwips[h].try_submit(id, now).is_ok() {
+                    self.next_service_id += 1;
+                    self.hwip_inflight[h].insert(id, (tag, src));
+                    self.hwip_parked[h].pop_front();
+                } else {
+                    break;
+                }
+            }
+            self.hwips[h].tick(now);
+            while let Some(id) = self.hwips[h].take_done() {
+                if let Some((tag, reply_to)) = self.hwip_inflight[h].remove(&id) {
+                    self.push_service_reply(self.hwip_nodes[h], reply_to, tag);
+                }
+            }
+        }
+    }
+
+    fn push_service_reply(&mut self, src: NodeId, dst: NodeId, tag: u64) {
+        let t = RequestTag::decode(tag);
+        self.outbox.push_back(Outgoing {
+            src,
+            dst,
+            data: vec![0; t.reply_bytes as usize],
+            tag: t.encode_reply(),
+            on_accept: None,
+        });
+    }
+
+    fn runtime_dispatch(&mut self, now: Cycles) {
+        let Some(mut rt) = self.runtime.take() else {
+            return;
+        };
+        rt.drive(now);
+        rt.dispatch(&mut self.pes);
+        self.runtime = Some(rt);
+    }
+
+    fn collect_pe_requests(&mut self) {
+        for p in 0..self.pes.len() {
+            let src = self.pe_nodes[p];
+            for (tid, req) in self.pes[p].take_requests() {
+                match req {
+                    PeRequest::Send { dst, bytes, mut data, tag } => {
+                        if (data.len() as u64) < bytes {
+                            data.resize(bytes as usize, 0);
+                        }
+                        self.outbox.push_back(Outgoing {
+                            src,
+                            dst,
+                            data,
+                            tag,
+                            on_accept: Some((PeId(p), tid)),
+                        });
+                    }
+                    PeRequest::Call { dst, bytes, reply_bytes, mut data } => {
+                        if (data.len() as u64) < bytes {
+                            data.resize(bytes as usize, 0);
+                        }
+                        let tag = RequestTag {
+                            pe: PeId(p),
+                            tid,
+                            reply_bytes,
+                        }
+                        .encode();
+                        self.outbox.push_back(Outgoing {
+                            src,
+                            dst,
+                            data,
+                            tag,
+                            on_accept: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn flush_outbox(&mut self, now: Cycles) {
+        let mut remaining = VecDeque::new();
+        while let Some(out) = self.outbox.pop_front() {
+            // Guard with ni_free so the payload is only moved into the NoC
+            // when acceptance is certain; a full NI means retry next cycle.
+            if self.noc.ni_free(out.src) == 0 {
+                remaining.push_back(out);
+                continue;
+            }
+            self.noc
+                .try_inject(out.src, out.dst, out.data, out.tag, now)
+                .expect("NI space was checked and platform nodes are valid");
+            if let Some((pe, tid)) = out.on_accept {
+                self.pes[pe.0].complete(tid);
+            }
+        }
+        self.outbox = remaining;
+    }
+
+    /// Builds the report for the last `elapsed` cycles of activity.
+    pub fn report(&self, elapsed: Cycles) -> PlatformReport {
+        PlatformReport::collect(self, elapsed)
+    }
+
+    pub(crate) fn pes_slice(&self) -> &[Pe] {
+        &self.pes
+    }
+
+    pub(crate) fn mems_slice(&self) -> &[MemoryController] {
+        &self.mems
+    }
+
+    pub(crate) fn fabrics_slice(&self) -> &[Efpga] {
+        &self.fabrics
+    }
+
+    pub(crate) fn hwips_slice(&self) -> &[HwIpBlock] {
+        &self.hwips
+    }
+
+    pub(crate) fn ios_slice(&self) -> &[IoChannel] {
+        &self.ios
+    }
+
+    pub(crate) fn noc_ref(&self) -> &Noc {
+        &self.noc
+    }
+
+    /// Clock frequency at the configured technology node.
+    pub fn clock_hz(&self) -> f64 {
+        self.cfg.tech.nominal_clock_hz()
+    }
+
+    /// Total dynamic energy across all components.
+    pub fn total_energy(&self) -> Picojoules {
+        let pe: Picojoules = self.pes.iter().map(|p| p.stats().energy).sum();
+        let mem: Picojoules = self.mems.iter().map(|m| m.energy()).sum();
+        let fab: Picojoules = self.fabrics.iter().map(|f| f.energy()).sum();
+        let hw: Picojoules = self.hwips.iter().map(|h| h.energy()).sum();
+        pe + mem + fab + hw
+    }
+}

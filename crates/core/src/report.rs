@@ -1,0 +1,119 @@
+//! Post-run platform reports.
+
+use crate::platform::FppaPlatform;
+use nw_noc::NocStats;
+use nw_types::{Cycles, Picojoules};
+
+/// Per-I/O-channel figures.
+#[derive(Debug, Clone)]
+pub struct IoReport {
+    /// Packets the wire delivered (including dropped ones).
+    pub generated: u64,
+    /// Packets dropped at the RX FIFO (processing fell behind).
+    pub dropped: u64,
+    /// Packets transmitted on egress.
+    pub transmitted: u64,
+}
+
+/// Summary of one platform run.
+///
+/// Collected by [`FppaPlatform::run`] / [`FppaPlatform::report`].
+#[derive(Debug, Clone)]
+pub struct PlatformReport {
+    /// Cycles covered by the report.
+    pub cycles: Cycles,
+    /// Core clock at the configured node.
+    pub clock_hz: f64,
+    /// Tasks (invocations) run to completion across all PEs.
+    pub tasks_completed: u64,
+    /// Core utilization per PE (fraction of cycles issuing).
+    pub pe_utilization: Vec<f64>,
+    /// Mean per-thread task occupancy per PE.
+    pub thread_occupancy: Vec<f64>,
+    /// NoC statistics snapshot.
+    pub noc: NocStats,
+    /// Per-channel I/O figures.
+    pub io: Vec<IoReport>,
+    /// Total dynamic energy.
+    pub energy: Picojoules,
+    /// Invocations still queued at the dispatcher.
+    pub queued_invocations: usize,
+    /// Memory accesses served across all controllers.
+    pub mem_accesses: u64,
+    /// Items served by eFPGA fabrics.
+    pub fabric_served: u64,
+    /// Items served by hardwired IP blocks.
+    pub hwip_served: u64,
+}
+
+impl PlatformReport {
+    pub(crate) fn collect(p: &FppaPlatform, cycles: Cycles) -> Self {
+        let pe_stats: Vec<_> = p.pes_slice().iter().map(|pe| pe.stats()).collect();
+        PlatformReport {
+            cycles,
+            clock_hz: p.clock_hz(),
+            tasks_completed: pe_stats.iter().map(|s| s.tasks_completed).sum(),
+            pe_utilization: pe_stats.iter().map(|s| s.core_utilization).collect(),
+            thread_occupancy: pe_stats
+                .iter()
+                .map(|s| {
+                    if s.thread_occupancy.is_empty() {
+                        0.0
+                    } else {
+                        s.thread_occupancy.iter().sum::<f64>() / s.thread_occupancy.len() as f64
+                    }
+                })
+                .collect(),
+            noc: p.noc_ref().stats(),
+            io: p
+                .ios_slice()
+                .iter()
+                .map(|io| IoReport {
+                    generated: io.generated(),
+                    dropped: io.dropped(),
+                    transmitted: io.transmitted(),
+                })
+                .collect(),
+            energy: p.total_energy(),
+            queued_invocations: p.runtime().map_or(0, |r| r.queued_invocations()),
+            mem_accesses: p.mems_slice().iter().map(|m| m.served()).sum(),
+            fabric_served: p.fabrics_slice().iter().map(|f| f.served()).sum(),
+            hwip_served: p.hwips_slice().iter().map(|h| h.served()).sum(),
+        }
+    }
+
+    /// Mean core utilization across PEs.
+    pub fn mean_pe_utilization(&self) -> f64 {
+        if self.pe_utilization.is_empty() {
+            0.0
+        } else {
+            self.pe_utilization.iter().sum::<f64>() / self.pe_utilization.len() as f64
+        }
+    }
+
+    /// Completed tasks per cycle.
+    pub fn tasks_per_cycle(&self) -> f64 {
+        if self.cycles == Cycles::ZERO {
+            0.0
+        } else {
+            self.tasks_completed as f64 / self.cycles.0 as f64
+        }
+    }
+
+    /// Egress packet rate of channel `io` in packets per second.
+    pub fn egress_pps(&self, io: usize) -> f64 {
+        if self.cycles == Cycles::ZERO || io >= self.io.len() {
+            return 0.0;
+        }
+        self.io[io].transmitted as f64 / self.cycles.to_seconds(self.clock_hz)
+    }
+
+    /// Fraction of line-rate packets that survived (not dropped) on channel
+    /// `io`; 1.0 when nothing was generated.
+    pub fn io_delivery_ratio(&self, io: usize) -> f64 {
+        match self.io.get(io) {
+            Some(r) if r.generated > 0 => 1.0 - r.dropped as f64 / r.generated as f64,
+            _ => 1.0,
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! The DSOC runtime: application installation, program synthesis and
+//! invocation dispatch.
+//!
+//! This is the platform-dependent half of the paper's §7.2 stack. Given a
+//! validated [`Application`] and a placement (object → PE), the runtime:
+//!
+//! 1. registers every object with the [`Broker`];
+//! 2. on each arriving invocation, *synthesizes* a micro-op handler program
+//!    from the method descriptor — state read, compute burst, downstream
+//!    sends/calls (marshalled with the real wire codec), reply if twoway,
+//!    and the egress hand-off if the object is bound to an I/O channel;
+//! 3. dispatches handlers onto idle hardware threads (the hardware
+//!    dispatcher of the StepNP platform), queueing when all contexts are
+//!    busy;
+//! 4. paces entry-point traffic: a deterministic rate drive, line-rate I/O
+//!    binding, or saturation mode for utilization experiments.
+
+use crate::tags::RequestTag;
+use nw_dsoc::{Application, Broker, Domain, Message, MessageKind, MethodId};
+use nw_noc::Packet;
+use nw_pe::{KernelDomain, Op, Pe, Program};
+use nw_types::{Cycles, NodeId, ObjectId};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Errors from installing an application or configuring drives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstallError {
+    /// Placement length differs from the object count.
+    PlacementLength {
+        /// Objects in the application.
+        objects: usize,
+        /// Entries in the placement.
+        placed: usize,
+    },
+    /// Placement names a PE that does not exist.
+    PeOutOfRange(usize),
+    /// The driven/bound object is not an entry point of the application.
+    NotAnEntry(ObjectId),
+    /// No application is installed.
+    NoApp,
+    /// The I/O channel index does not exist.
+    IoOutOfRange(usize),
+    /// The object does not exist in the application.
+    UnknownObject(ObjectId),
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::PlacementLength { objects, placed } => {
+                write!(f, "placement covers {placed} of {objects} objects")
+            }
+            InstallError::PeOutOfRange(p) => write!(f, "placement names missing PE {p}"),
+            InstallError::NotAnEntry(o) => write!(f, "object {o} is not an entry point"),
+            InstallError::NoApp => write!(f, "no application installed"),
+            InstallError::IoOutOfRange(i) => write!(f, "no I/O channel {i}"),
+            InstallError::UnknownObject(o) => write!(f, "object {o} not in application"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// How an I/O channel feeds an entry point.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IoBinding {
+    pub object: ObjectId,
+    pub method: MethodId,
+}
+
+/// A queued invocation awaiting an idle hardware thread.
+#[derive(Debug)]
+struct PendingInvocation {
+    object: ObjectId,
+    method: MethodId,
+    /// Reply destination and request tag for twoway invocations.
+    reply_to: Option<(NodeId, u64)>,
+}
+
+/// A deterministic entry-rate drive.
+#[derive(Debug)]
+struct Drive {
+    object: ObjectId,
+    method: MethodId,
+    rate: f64,
+    acc: f64,
+}
+
+/// The installed-application runtime state.
+#[derive(Debug)]
+pub struct Runtime {
+    app: Application,
+    /// object → PE index.
+    placement: Vec<usize>,
+    broker: Broker,
+    /// Per-PE invocation queues.
+    dispatch: Vec<VecDeque<PendingInvocation>>,
+    drives: Vec<Drive>,
+    io_bindings: Vec<Vec<IoBinding>>,
+    io_rr: Vec<usize>,
+    /// Objects whose host PE is kept saturated with entry invocations.
+    saturate: Vec<(ObjectId, MethodId)>,
+    /// Egress bindings: object → (I/O node, packet bytes).
+    egress: HashMap<ObjectId, (NodeId, u64)>,
+    /// Fractional call-multiplicity carry per edge index.
+    edge_carry: Vec<f64>,
+    seq: u32,
+    /// Invocations that arrived but could not be decoded (protocol errors).
+    pub decode_errors: u64,
+    /// Total invocations dispatched to threads.
+    pub dispatched: u64,
+}
+
+impl Runtime {
+    pub(crate) fn new(
+        app: Application,
+        placement: Vec<usize>,
+        pe_nodes: &[NodeId],
+        n_pes: usize,
+        n_ios: usize,
+    ) -> Result<Self, InstallError> {
+        if placement.len() != app.objects().len() {
+            return Err(InstallError::PlacementLength {
+                objects: app.objects().len(),
+                placed: placement.len(),
+            });
+        }
+        if let Some(&bad) = placement.iter().find(|&&p| p >= n_pes) {
+            return Err(InstallError::PeOutOfRange(bad));
+        }
+        let mut broker = Broker::new();
+        for (obj, &pe) in placement.iter().enumerate() {
+            broker.register(ObjectId(obj), pe_nodes[pe]);
+        }
+        let n_edges = app.edges().len();
+        Ok(Runtime {
+            app,
+            placement,
+            broker,
+            dispatch: (0..n_pes).map(|_| VecDeque::new()).collect(),
+            drives: Vec::new(),
+            io_bindings: vec![Vec::new(); n_ios],
+            io_rr: vec![0; n_ios],
+            saturate: Vec::new(),
+            egress: HashMap::new(),
+            edge_carry: vec![0.0; n_edges],
+            seq: 0,
+            decode_errors: 0,
+            dispatched: 0,
+        })
+    }
+
+    /// The installed application.
+    pub fn app(&self) -> &Application {
+        &self.app
+    }
+
+    /// The object placement (object index → PE index).
+    pub fn placement(&self) -> &[usize] {
+        &self.placement
+    }
+
+    /// The broker resolving objects to nodes.
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    fn entry_method_of(&self, object: ObjectId) -> Result<MethodId, InstallError> {
+        self.app
+            .entries()
+            .iter()
+            .find(|&&(o, _)| o == object)
+            .map(|&(_, m)| m)
+            .ok_or(InstallError::NotAnEntry(object))
+    }
+
+    pub(crate) fn add_drive(&mut self, object: ObjectId, rate: f64) -> Result<(), InstallError> {
+        let method = self.entry_method_of(object)?;
+        self.drives.push(Drive {
+            object,
+            method,
+            rate,
+            acc: 0.0,
+        });
+        Ok(())
+    }
+
+    pub(crate) fn add_saturation(&mut self, object: ObjectId) -> Result<(), InstallError> {
+        let method = self.entry_method_of(object)?;
+        self.saturate.push((object, method));
+        Ok(())
+    }
+
+    pub(crate) fn bind_io(&mut self, io: usize, object: ObjectId) -> Result<(), InstallError> {
+        let method = self.entry_method_of(object)?;
+        let slot = self
+            .io_bindings
+            .get_mut(io)
+            .ok_or(InstallError::IoOutOfRange(io))?;
+        slot.push(IoBinding { object, method });
+        Ok(())
+    }
+
+    pub(crate) fn bind_egress(
+        &mut self,
+        object: ObjectId,
+        io_node: NodeId,
+        packet_bytes: u64,
+    ) -> Result<(), InstallError> {
+        if object.0 >= self.app.objects().len() {
+            return Err(InstallError::UnknownObject(object));
+        }
+        self.egress.insert(object, (io_node, packet_bytes));
+        Ok(())
+    }
+
+    pub(crate) fn io_has_bindings(&self, io: usize) -> bool {
+        self.io_bindings.get(io).is_some_and(|b| !b.is_empty())
+    }
+
+    /// Builds the (destination node, marshalled bytes) of one line-rate
+    /// ingress invocation for a bound I/O channel, rotating round-robin
+    /// among the channel's bound entry points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel has no bindings (callers check
+    /// [`Runtime::io_has_bindings`] first).
+    pub(crate) fn ingress_invocation(&mut self, io: usize) -> (NodeId, Vec<u8>) {
+        let bindings = &self.io_bindings[io];
+        assert!(!bindings.is_empty(), "ingress on an unbound I/O channel");
+        let b = bindings[self.io_rr[io] % bindings.len()];
+        self.io_rr[io] = (self.io_rr[io] + 1) % bindings.len();
+        let m = self.app.method(b.object, b.method);
+        let body = vec![0u8; m.arg_bytes as usize];
+        let msg = Message::invocation(b.object, b.method, self.next_seq(), body);
+        let dst = self
+            .broker
+            .resolve(b.object)
+            .expect("placed objects are registered");
+        (dst, msg.encode())
+    }
+
+    fn next_seq(&mut self) -> u32 {
+        self.seq = self.seq.wrapping_add(1);
+        self.seq
+    }
+
+    /// Routes an arriving DSOC packet at PE `p` into its dispatch queue.
+    pub(crate) fn enqueue_invocation(&mut self, p: usize, pkt: &Packet) {
+        let msg = match Message::decode(&pkt.data) {
+            Ok(m) => m,
+            Err(_) => {
+                self.decode_errors += 1;
+                return;
+            }
+        };
+        if msg.kind != MessageKind::Invocation {
+            self.decode_errors += 1;
+            return;
+        }
+        if msg.object.0 >= self.app.objects().len()
+            || msg.method.0 as usize >= self.app.object(msg.object).methods.len()
+        {
+            self.decode_errors += 1;
+            return;
+        }
+        let twoway = self.app.method(msg.object, msg.method).is_twoway();
+        let reply_to = (twoway && pkt.tag != 0).then_some((pkt.src, pkt.tag));
+        self.dispatch[p].push_back(PendingInvocation {
+            object: msg.object,
+            method: msg.method,
+            reply_to,
+        });
+    }
+
+    /// Advances the deterministic entry drives.
+    pub(crate) fn drive(&mut self, _now: Cycles) {
+        for d in 0..self.drives.len() {
+            self.drives[d].acc += self.drives[d].rate;
+            while self.drives[d].acc >= 1.0 {
+                self.drives[d].acc -= 1.0;
+                let (object, method) = (self.drives[d].object, self.drives[d].method);
+                let pe = self.placement[object.0];
+                self.dispatch[pe].push_back(PendingInvocation {
+                    object,
+                    method,
+                    reply_to: None,
+                });
+            }
+        }
+    }
+
+    /// Dispatches queued invocations (and saturation refills) onto idle
+    /// hardware threads.
+    pub(crate) fn dispatch(&mut self, pes: &mut [Pe]) {
+        for p in 0..self.dispatch.len() {
+            while pes[p].idle_threads() > 0 {
+                let Some(inv) = self.dispatch[p].pop_front() else {
+                    break;
+                };
+                let prog = self.synthesize(&inv);
+                pes[p]
+                    .spawn(prog)
+                    .expect("idle thread count was checked");
+                self.dispatched += 1;
+            }
+        }
+        // Saturation mode: keep every context of the hosting PE occupied.
+        for k in 0..self.saturate.len() {
+            let (object, method) = self.saturate[k];
+            let pe = self.placement[object.0];
+            while pes[pe].idle_threads() > 0 {
+                let prog = self.synthesize(&PendingInvocation {
+                    object,
+                    method,
+                    reply_to: None,
+                });
+                pes[pe].spawn(prog).expect("idle thread count was checked");
+                self.dispatched += 1;
+            }
+        }
+    }
+
+    /// Synthesizes the handler program for one invocation.
+    fn synthesize(&mut self, inv: &PendingInvocation) -> Program {
+        let method = self.app.method(inv.object, inv.method).clone();
+        let mut ops = Vec::new();
+        if method.local_bytes > 0 {
+            ops.push(Op::LocalMem {
+                write: false,
+                bytes: method.local_bytes,
+            });
+        }
+        if method.compute_cycles > 0 {
+            ops.push(Op::Compute(method.compute_cycles));
+        }
+        // Downstream calls, with deterministic fractional-multiplicity carry.
+        let edges: Vec<(usize, nw_dsoc::CallEdge)> = self
+            .app
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.from == inv.object && e.from_method == inv.method)
+            .map(|(i, e)| (i, *e))
+            .collect();
+        for (ei, edge) in edges {
+            self.edge_carry[ei] += edge.calls_per_invocation;
+            let count = self.edge_carry[ei].floor() as u64;
+            self.edge_carry[ei] -= count as f64;
+            let callee = self.app.method(edge.to, edge.to_method).clone();
+            let dst = self
+                .broker
+                .resolve(edge.to)
+                .expect("placed objects are registered");
+            for _ in 0..count {
+                let msg = Message::invocation(
+                    edge.to,
+                    edge.to_method,
+                    self.next_seq(),
+                    vec![0u8; callee.arg_bytes as usize],
+                );
+                let data = msg.encode();
+                let bytes = data.len() as u64;
+                if callee.is_twoway() {
+                    ops.push(Op::Call {
+                        dst,
+                        bytes,
+                        reply_bytes: callee.reply_bytes + Message::HEADER_LEN as u64,
+                        data,
+                    });
+                } else {
+                    ops.push(Op::Send {
+                        dst,
+                        bytes,
+                        data,
+                        tag: 0,
+                    });
+                }
+            }
+        }
+        // Twoway: answer the caller with the echoed request tag.
+        if let Some((reply_to, tag)) = inv.reply_to {
+            let msg = Message::reply(
+                inv.object,
+                inv.method,
+                self.next_seq(),
+                vec![0u8; method.reply_bytes as usize],
+            );
+            let data = msg.encode();
+            let bytes = data.len() as u64;
+            ops.push(Op::Send {
+                dst: reply_to,
+                bytes,
+                data,
+                tag: RequestTag::decode(tag).encode_reply(),
+            });
+        }
+        // Egress hand-off.
+        if let Some(&(io_node, packet_bytes)) = self.egress.get(&inv.object) {
+            ops.push(Op::Send {
+                dst: io_node,
+                bytes: packet_bytes,
+                data: Vec::new(),
+                tag: 0,
+            });
+        }
+        Program::new(ops, domain_to_kernel(method.domain))
+    }
+
+    /// Invocations currently queued (all PEs).
+    pub fn queued_invocations(&self) -> usize {
+        self.dispatch.iter().map(|q| q.len()).sum()
+    }
+}
+
+/// Maps the DSOC domain tag to the PE kernel domain.
+pub(crate) fn domain_to_kernel(d: Domain) -> KernelDomain {
+    match d {
+        Domain::Control => KernelDomain::Control,
+        Domain::Signal => KernelDomain::Signal,
+        Domain::PacketHeader => KernelDomain::PacketHeader,
+        Domain::Generic => KernelDomain::Generic,
+    }
+}
+
+// ---- FppaPlatform runtime API ------------------------------------------
+
+use crate::platform::FppaPlatform;
+
+impl FppaPlatform {
+    /// Installs a DSOC application with `placement[object] = pe index`.
+    ///
+    /// # Errors
+    ///
+    /// See [`InstallError`].
+    pub fn install_app(
+        &mut self,
+        app: &Application,
+        placement: &[usize],
+    ) -> Result<(), InstallError> {
+        let pe_nodes: Vec<NodeId> = (0..self.pes_slice().len()).map(|i| self.pe_node(i)).collect();
+        let rt = Runtime::new(
+            app.clone(),
+            placement.to_vec(),
+            &pe_nodes,
+            self.pes_slice().len(),
+            self.ios_slice().len(),
+        )?;
+        self.runtime = Some(rt);
+        Ok(())
+    }
+
+    /// Drives entry-point `object` at `rate` invocations per cycle
+    /// (deterministic pacing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no application is installed or the object is not an entry
+    /// point — both are setup bugs in the calling experiment.
+    pub fn drive_entry(&mut self, object: ObjectId, rate: f64) {
+        self.runtime
+            .as_mut()
+            .expect("install_app before drive_entry")
+            .add_drive(object, rate)
+            .expect("drive_entry requires an application entry point");
+    }
+
+    /// Keeps the PE hosting `object` saturated with entry invocations
+    /// (utilization rigs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no application is installed or the object is not an entry
+    /// point.
+    pub fn saturate_entry(&mut self, object: ObjectId) {
+        self.runtime
+            .as_mut()
+            .expect("install_app before saturate_entry")
+            .add_saturation(object)
+            .expect("saturate_entry requires an application entry point");
+    }
+
+    /// Feeds entry-point `object` from I/O channel `io` at line rate.
+    ///
+    /// # Errors
+    ///
+    /// See [`InstallError`].
+    pub fn bind_io_entry(&mut self, io: usize, object: ObjectId) -> Result<(), InstallError> {
+        self.runtime
+            .as_mut()
+            .ok_or(InstallError::NoApp)?
+            .bind_io(io, object)
+    }
+
+    /// Routes completions of `object` to I/O channel `io` as transmitted
+    /// packets of `packet_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// See [`InstallError`].
+    pub fn bind_egress(
+        &mut self,
+        object: ObjectId,
+        io: usize,
+        packet_bytes: u64,
+    ) -> Result<(), InstallError> {
+        if io >= self.ios_slice().len() {
+            return Err(InstallError::IoOutOfRange(io));
+        }
+        let io_node = self.io_node(io);
+        self.runtime
+            .as_mut()
+            .ok_or(InstallError::NoApp)?
+            .bind_egress(object, io_node, packet_bytes)
+    }
+
+    /// The installed runtime, if any.
+    pub fn runtime(&self) -> Option<&Runtime> {
+        self.runtime.as_ref()
+    }
+}

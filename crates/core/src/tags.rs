@@ -1,0 +1,116 @@
+//! NoC packet-tag codec for request/response correlation.
+//!
+//! Every synchronous round trip on the platform — a DSOC twoway call, a
+//! remote memory read, an accelerator request — carries a tag identifying
+//! the requesting hardware thread, so the reply can wake exactly that
+//! context without decoding payloads. The layout:
+//!
+//! ```text
+//! bit 63        reply flag (set on the response leg)
+//! bits 48..63   requesting PE index
+//! bits 40..48   requesting thread index
+//! bits 0..40    expected reply payload bytes (service nodes size their
+//!               response from this)
+//! ```
+
+use nw_types::{PeId, ThreadId};
+
+const REPLY_FLAG: u64 = 1 << 63;
+const PE_SHIFT: u32 = 48;
+const TID_SHIFT: u32 = 40;
+const PE_MASK: u64 = 0x7FFF;
+const TID_MASK: u64 = 0xFF;
+const BYTES_MASK: u64 = (1 << 40) - 1;
+
+/// A decoded request tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTag {
+    /// Requesting PE.
+    pub pe: PeId,
+    /// Requesting hardware thread.
+    pub tid: ThreadId,
+    /// Expected reply payload size in bytes.
+    pub reply_bytes: u64,
+}
+
+impl RequestTag {
+    /// Encodes the request-leg tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PE index exceeds 15 bits, the thread index exceeds
+    /// 8 bits, or `reply_bytes` exceeds 40 bits — all far beyond any
+    /// plausible platform.
+    pub fn encode(self) -> u64 {
+        assert!(self.pe.0 as u64 <= PE_MASK, "PE index too large for tag");
+        assert!(self.tid.0 as u64 <= TID_MASK, "thread index too large for tag");
+        assert!(self.reply_bytes <= BYTES_MASK, "reply size too large for tag");
+        ((self.pe.0 as u64) << PE_SHIFT)
+            | ((self.tid.0 as u64) << TID_SHIFT)
+            | self.reply_bytes
+    }
+
+    /// Encodes the reply-leg tag (reply flag set).
+    pub fn encode_reply(self) -> u64 {
+        self.encode() | REPLY_FLAG
+    }
+
+    /// Decodes either leg.
+    pub fn decode(tag: u64) -> RequestTag {
+        RequestTag {
+            pe: PeId(((tag >> PE_SHIFT) & PE_MASK) as usize),
+            tid: ThreadId(((tag >> TID_SHIFT) & TID_MASK) as usize),
+            reply_bytes: tag & BYTES_MASK,
+        }
+    }
+}
+
+/// Whether a tag is a reply-leg tag.
+pub fn is_reply(tag: u64) -> bool {
+    tag & REPLY_FLAG != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = RequestTag {
+            pe: PeId(129),
+            tid: ThreadId(7),
+            reply_bytes: 24,
+        };
+        let enc = t.encode();
+        assert!(!is_reply(enc));
+        assert_eq!(RequestTag::decode(enc), t);
+        let rep = t.encode_reply();
+        assert!(is_reply(rep));
+        assert_eq!(RequestTag::decode(rep), t);
+    }
+
+    #[test]
+    fn zero_tag_decodes_to_defaults() {
+        let t = RequestTag::decode(0);
+        assert_eq!(t.pe, PeId(0));
+        assert_eq!(t.tid, ThreadId(0));
+        assert_eq!(t.reply_bytes, 0);
+        assert!(!is_reply(0));
+    }
+
+    #[test]
+    fn extremes_roundtrip() {
+        let t = RequestTag {
+            pe: PeId(0x7FFF),
+            tid: ThreadId(0xFF),
+            reply_bytes: BYTES_MASK,
+        };
+        assert_eq!(RequestTag::decode(t.encode_reply()), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "PE index too large")]
+    fn oversized_pe_panics() {
+        RequestTag { pe: PeId(1 << 20), tid: ThreadId(0), reply_bytes: 0 }.encode();
+    }
+}

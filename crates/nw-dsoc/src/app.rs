@@ -1,0 +1,596 @@
+//! The platform-independent application model: objects, interfaces and the
+//! call graph.
+//!
+//! A DSOC application is a directed acyclic graph of objects. Each object
+//! exposes methods; each method declares its marshalling footprint (argument
+//! and reply bytes), its compute weight in GP-RISC baseline cycles, its
+//! local state traffic, and which downstream methods it invokes per
+//! invocation. From entry-point rates the model propagates steady-state
+//! invocation rates through the graph — the quantity the MultiFlex mappers
+//! in `nw-mapping` balance across processors.
+
+use nw_types::ObjectId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Index of a method within one object's interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MethodId(pub u16);
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Kernel-domain tag (mirrors `nw_pe::KernelDomain` without the dependency;
+/// the core crate converts between the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Domain {
+    /// Control-dominated code.
+    Control,
+    /// Signal-processing kernel.
+    Signal,
+    /// Packet-header processing.
+    PacketHeader,
+    /// Generic integer compute.
+    #[default]
+    Generic,
+}
+
+/// One method of an object's interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDef {
+    /// Method name.
+    pub name: String,
+    /// Marshalled argument size in bytes.
+    pub arg_bytes: u64,
+    /// Marshalled reply size in bytes; 0 makes the method *oneway*
+    /// (fire-and-forget, no reply message).
+    pub reply_bytes: u64,
+    /// Compute weight in GP-RISC baseline cycles.
+    pub compute_cycles: u64,
+    /// Local state bytes touched per invocation (scratchpad traffic).
+    pub local_bytes: u64,
+    /// Kernel domain (drives ASIP/DSP speedups on matched PEs).
+    pub domain: Domain,
+}
+
+impl MethodDef {
+    /// A oneway (no-reply) method with the given argument size.
+    pub fn oneway(name: &str, arg_bytes: u64) -> Self {
+        MethodDef {
+            name: name.to_owned(),
+            arg_bytes,
+            reply_bytes: 0,
+            compute_cycles: 0,
+            local_bytes: 0,
+            domain: Domain::Generic,
+        }
+    }
+
+    /// A twoway (request/reply) method.
+    pub fn twoway(name: &str, arg_bytes: u64, reply_bytes: u64) -> Self {
+        MethodDef {
+            reply_bytes,
+            ..Self::oneway(name, arg_bytes)
+        }
+    }
+
+    /// Sets the compute weight.
+    pub fn with_compute(mut self, cycles: u64) -> Self {
+        self.compute_cycles = cycles;
+        self
+    }
+
+    /// Sets the local state traffic.
+    pub fn with_local_bytes(mut self, bytes: u64) -> Self {
+        self.local_bytes = bytes;
+        self
+    }
+
+    /// Sets the kernel domain.
+    pub fn with_domain(mut self, domain: Domain) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Whether the method returns a reply.
+    pub fn is_twoway(&self) -> bool {
+        self.reply_bytes > 0
+    }
+}
+
+/// One DSOC object: a named bundle of methods plus its state footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectDef {
+    /// Object name.
+    pub name: String,
+    /// Methods, indexed by [`MethodId`].
+    pub methods: Vec<MethodDef>,
+    /// Persistent state size in bytes (placement constraint input).
+    pub state_bytes: u64,
+}
+
+impl ObjectDef {
+    /// Creates an object with no methods.
+    pub fn new(name: &str) -> Self {
+        ObjectDef {
+            name: name.to_owned(),
+            methods: Vec::new(),
+            state_bytes: 0,
+        }
+    }
+
+    /// Adds a method.
+    pub fn with_method(mut self, m: MethodDef) -> Self {
+        self.methods.push(m);
+        self
+    }
+
+    /// Sets the state footprint.
+    pub fn with_state_bytes(mut self, bytes: u64) -> Self {
+        self.state_bytes = bytes;
+        self
+    }
+}
+
+/// A directed call edge: invocations of `(from, from_method)` invoke
+/// `(to, to_method)` `calls_per_invocation` times on average.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CallEdge {
+    /// Calling object.
+    pub from: ObjectId,
+    /// Calling method.
+    pub from_method: MethodId,
+    /// Callee object.
+    pub to: ObjectId,
+    /// Callee method.
+    pub to_method: MethodId,
+    /// Mean downstream invocations per upstream invocation.
+    pub calls_per_invocation: f64,
+}
+
+/// Errors from [`Application`] construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildAppError {
+    /// An edge or entry references a missing object.
+    UnknownObject(ObjectId),
+    /// An edge or entry references a missing method.
+    UnknownMethod(ObjectId, MethodId),
+    /// The call graph has a cycle (rate propagation requires a DAG).
+    CyclicCallGraph,
+    /// The application has no entry point.
+    NoEntryPoint,
+    /// An edge has a non-positive call multiplicity.
+    BadMultiplicity(f64),
+}
+
+impl fmt::Display for BuildAppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildAppError::UnknownObject(o) => write!(f, "unknown object {o}"),
+            BuildAppError::UnknownMethod(o, m) => write!(f, "unknown method {m} on {o}"),
+            BuildAppError::CyclicCallGraph => write!(f, "call graph contains a cycle"),
+            BuildAppError::NoEntryPoint => write!(f, "application has no entry point"),
+            BuildAppError::BadMultiplicity(x) => {
+                write!(f, "call multiplicity {x} must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildAppError {}
+
+/// A validated DSOC application.
+#[derive(Debug, Clone)]
+pub struct Application {
+    name: String,
+    objects: Vec<ObjectDef>,
+    edges: Vec<CallEdge>,
+    entries: Vec<(ObjectId, MethodId)>,
+}
+
+impl Application {
+    /// Starts building an application.
+    pub fn builder(name: &str) -> ApplicationBuilder {
+        ApplicationBuilder {
+            name: name.to_owned(),
+            objects: Vec::new(),
+            edges: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All objects, indexed by [`ObjectId`].
+    pub fn objects(&self) -> &[ObjectDef] {
+        &self.objects
+    }
+
+    /// One object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (builders validate all ids).
+    pub fn object(&self, id: ObjectId) -> &ObjectDef {
+        &self.objects[id.0]
+    }
+
+    /// A method definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn method(&self, o: ObjectId, m: MethodId) -> &MethodDef {
+        &self.objects[o.0].methods[m.0 as usize]
+    }
+
+    /// All call edges.
+    pub fn edges(&self) -> &[CallEdge] {
+        &self.edges
+    }
+
+    /// Entry points (driven by external traffic sources).
+    pub fn entries(&self) -> &[(ObjectId, MethodId)] {
+        &self.entries
+    }
+
+    /// Outgoing edges of `(o, m)` in declaration order.
+    pub fn calls_from(&self, o: ObjectId, m: MethodId) -> impl Iterator<Item = &CallEdge> {
+        self.edges
+            .iter()
+            .filter(move |e| e.from == o && e.from_method == m)
+    }
+
+    /// Propagates entry rates (invocations per cycle, aligned with
+    /// [`Application::entries`]) through the call graph and returns the
+    /// steady-state invocation rate per `(object, method)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_rates.len() != self.entries().len()`.
+    pub fn invocation_rates(&self, entry_rates: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(
+            entry_rates.len(),
+            self.entries.len(),
+            "one rate per entry point required"
+        );
+        let mut rates: Vec<Vec<f64>> = self
+            .objects
+            .iter()
+            .map(|o| vec![0.0; o.methods.len()])
+            .collect();
+        for (&(o, m), &r) in self.entries.iter().zip(entry_rates) {
+            rates[o.0][m.0 as usize] += r;
+        }
+        // The builder guarantees a DAG, so Kahn-style propagation converges.
+        for &(o, m) in &self.topo_order() {
+            let r = rates[o.0][m.0 as usize];
+            if r == 0.0 {
+                continue;
+            }
+            for e in self.calls_from(o, m) {
+                rates[e.to.0][e.to_method.0 as usize] += r * e.calls_per_invocation;
+            }
+        }
+        rates
+    }
+
+    /// Total compute load (baseline cycles per cycle) per object for given
+    /// entry rates — the load-balancing input of the mappers.
+    pub fn object_loads(&self, entry_rates: &[f64]) -> Vec<f64> {
+        let rates = self.invocation_rates(entry_rates);
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                o.methods
+                    .iter()
+                    .zip(&rates[i])
+                    .map(|(m, r)| m.compute_cycles as f64 * r)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Communication volume (bytes per cycle) over each edge for given entry
+    /// rates, in edge declaration order. Includes reply traffic for twoway
+    /// callees.
+    pub fn edge_traffic(&self, entry_rates: &[f64]) -> Vec<f64> {
+        let rates = self.invocation_rates(entry_rates);
+        self.edges
+            .iter()
+            .map(|e| {
+                let caller_rate = rates[e.from.0][e.from_method.0 as usize];
+                let callee = self.method(e.to, e.to_method);
+                let per_call = callee.arg_bytes as f64 + callee.reply_bytes as f64;
+                caller_rate * e.calls_per_invocation * per_call
+            })
+            .collect()
+    }
+
+    /// Topological order of `(object, method)` nodes in the call graph.
+    fn topo_order(&self) -> Vec<(ObjectId, MethodId)> {
+        let mut nodes = Vec::new();
+        for (i, o) in self.objects.iter().enumerate() {
+            for m in 0..o.methods.len() {
+                nodes.push((ObjectId(i), MethodId(m as u16)));
+            }
+        }
+        let index = |o: ObjectId, m: MethodId| -> usize {
+            let mut k = 0;
+            for (i, obj) in self.objects.iter().enumerate() {
+                if i == o.0 {
+                    return k + m.0 as usize;
+                }
+                k += obj.methods.len();
+            }
+            unreachable!("validated object id")
+        };
+        let mut indeg = vec![0usize; nodes.len()];
+        for e in &self.edges {
+            indeg[index(e.to, e.to_method)] += 1;
+        }
+        let mut q: VecDeque<usize> = (0..nodes.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(nodes.len());
+        while let Some(i) = q.pop_front() {
+            order.push(nodes[i]);
+            let (o, m) = nodes[i];
+            for e in self.calls_from(o, m) {
+                let j = index(e.to, e.to_method);
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    q.push_back(j);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), nodes.len(), "builder guarantees a DAG");
+        order
+    }
+}
+
+/// Builder for [`Application`].
+#[derive(Debug)]
+pub struct ApplicationBuilder {
+    name: String,
+    objects: Vec<ObjectDef>,
+    edges: Vec<CallEdge>,
+    entries: Vec<(ObjectId, MethodId)>,
+}
+
+impl ApplicationBuilder {
+    /// Adds an object, returning its id.
+    pub fn add_object(&mut self, o: ObjectDef) -> ObjectId {
+        self.objects.push(o);
+        ObjectId(self.objects.len() - 1)
+    }
+
+    /// Declares that `(from, from_method)` invokes `(to, to_method)`
+    /// `calls` times per invocation.
+    pub fn connect(
+        &mut self,
+        from: ObjectId,
+        from_method: u16,
+        to: ObjectId,
+        to_method: u16,
+        calls: f64,
+    ) -> &mut Self {
+        self.edges.push(CallEdge {
+            from,
+            from_method: MethodId(from_method),
+            to,
+            to_method: MethodId(to_method),
+            calls_per_invocation: calls,
+        });
+        self
+    }
+
+    /// Declares `(o, m)` as an entry point driven by external traffic.
+    pub fn entry(&mut self, o: ObjectId, m: u16) -> &mut Self {
+        self.entries.push((o, MethodId(m)));
+        self
+    }
+
+    /// Validates and builds the application.
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildAppError`] — unknown references, cycles, missing entry
+    /// points and non-positive multiplicities are all rejected.
+    pub fn build(self) -> Result<Application, BuildAppError> {
+        let check = |o: ObjectId, m: MethodId| -> Result<(), BuildAppError> {
+            let obj = self
+                .objects
+                .get(o.0)
+                .ok_or(BuildAppError::UnknownObject(o))?;
+            if m.0 as usize >= obj.methods.len() {
+                return Err(BuildAppError::UnknownMethod(o, m));
+            }
+            Ok(())
+        };
+        for e in &self.edges {
+            check(e.from, e.from_method)?;
+            check(e.to, e.to_method)?;
+            if e.calls_per_invocation <= 0.0 {
+                return Err(BuildAppError::BadMultiplicity(e.calls_per_invocation));
+            }
+        }
+        if self.entries.is_empty() {
+            return Err(BuildAppError::NoEntryPoint);
+        }
+        for &(o, m) in &self.entries {
+            check(o, m)?;
+        }
+        let app = Application {
+            name: self.name,
+            objects: self.objects,
+            edges: self.edges,
+            entries: self.entries,
+        };
+        // Cycle check: topo order must cover every (object, method) node.
+        let n_nodes: usize = app.objects.iter().map(|o| o.methods.len()).sum();
+        let mut probe = app.clone();
+        // topo_order asserts in debug; count explicitly for release too.
+        let order = probe.topo_order_len();
+        if order != n_nodes {
+            return Err(BuildAppError::CyclicCallGraph);
+        }
+        let _ = &mut probe;
+        Ok(app)
+    }
+}
+
+impl Application {
+    fn topo_order_len(&mut self) -> usize {
+        // Reuse topo_order but tolerate cycles (it would under-count).
+        let mut nodes = Vec::new();
+        for (i, o) in self.objects.iter().enumerate() {
+            for m in 0..o.methods.len() {
+                nodes.push((ObjectId(i), MethodId(m as u16)));
+            }
+        }
+        let index = |o: ObjectId, m: MethodId, objs: &[ObjectDef]| -> usize {
+            objs.iter().take(o.0).map(|x| x.methods.len()).sum::<usize>() + m.0 as usize
+        };
+        let mut indeg = vec![0usize; nodes.len()];
+        for e in &self.edges {
+            indeg[index(e.to, e.to_method, &self.objects)] += 1;
+        }
+        let mut q: VecDeque<usize> = (0..nodes.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(i) = q.pop_front() {
+            seen += 1;
+            let (o, m) = nodes[i];
+            let outs: Vec<(ObjectId, MethodId)> = self
+                .calls_from(o, m)
+                .map(|e| (e.to, e.to_method))
+                .collect();
+            for (to, tm) in outs {
+                let j = index(to, tm, &self.objects);
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    q.push_back(j);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_stage() -> Application {
+        let mut b = Application::builder("3stage");
+        let a = b.add_object(ObjectDef::new("a").with_method(
+            MethodDef::oneway("in", 40).with_compute(100),
+        ));
+        let m = b.add_object(ObjectDef::new("b").with_method(
+            MethodDef::twoway("lookup", 8, 16).with_compute(60),
+        ));
+        let z = b.add_object(ObjectDef::new("c").with_method(
+            MethodDef::oneway("out", 40).with_compute(30),
+        ));
+        b.connect(a, 0, m, 0, 1.0);
+        b.connect(a, 0, z, 0, 1.0);
+        b.entry(a, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rates_propagate_through_the_dag() {
+        let app = three_stage();
+        let rates = app.invocation_rates(&[0.01]);
+        assert!((rates[0][0] - 0.01).abs() < 1e-12);
+        assert!((rates[1][0] - 0.01).abs() < 1e-12);
+        assert!((rates[2][0] - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplicity_scales_rates() {
+        let mut b = Application::builder("fanout");
+        let a = b.add_object(ObjectDef::new("a").with_method(MethodDef::oneway("x", 8)));
+        let c = b.add_object(ObjectDef::new("c").with_method(MethodDef::oneway("y", 8)));
+        b.connect(a, 0, c, 0, 3.0);
+        b.entry(a, 0);
+        let app = b.build().unwrap();
+        let rates = app.invocation_rates(&[0.02]);
+        assert!((rates[1][0] - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loads_weight_by_compute() {
+        let app = three_stage();
+        let loads = app.object_loads(&[0.01]);
+        assert!((loads[0] - 1.0).abs() < 1e-9); // 100 cyc × 0.01
+        assert!((loads[1] - 0.6).abs() < 1e-9);
+        assert!((loads[2] - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_traffic_includes_replies() {
+        let app = three_stage();
+        let t = app.edge_traffic(&[0.01]);
+        // Edge a->b: (8 arg + 16 reply) × 0.01 = 0.24 B/cyc.
+        assert!((t[0] - 0.24).abs() < 1e-9);
+        // Edge a->c: 40 arg, oneway.
+        assert!((t[1] - 0.40).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_references_rejected() {
+        let mut b = Application::builder("bad");
+        let a = b.add_object(ObjectDef::new("a").with_method(MethodDef::oneway("x", 8)));
+        b.connect(a, 0, ObjectId(9), 0, 1.0);
+        b.entry(a, 0);
+        assert_eq!(b.build().unwrap_err(), BuildAppError::UnknownObject(ObjectId(9)));
+
+        let mut b = Application::builder("bad2");
+        let a = b.add_object(ObjectDef::new("a").with_method(MethodDef::oneway("x", 8)));
+        b.entry(a, 5);
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildAppError::UnknownMethod(a, MethodId(5))
+        );
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = Application::builder("cyc");
+        let a = b.add_object(ObjectDef::new("a").with_method(MethodDef::oneway("x", 8)));
+        let c = b.add_object(ObjectDef::new("c").with_method(MethodDef::oneway("y", 8)));
+        b.connect(a, 0, c, 0, 1.0);
+        b.connect(c, 0, a, 0, 1.0);
+        b.entry(a, 0);
+        assert_eq!(b.build().unwrap_err(), BuildAppError::CyclicCallGraph);
+    }
+
+    #[test]
+    fn no_entry_rejected() {
+        let mut b = Application::builder("empty");
+        b.add_object(ObjectDef::new("a").with_method(MethodDef::oneway("x", 8)));
+        assert_eq!(b.build().unwrap_err(), BuildAppError::NoEntryPoint);
+    }
+
+    #[test]
+    fn bad_multiplicity_rejected() {
+        let mut b = Application::builder("mult");
+        let a = b.add_object(ObjectDef::new("a").with_method(MethodDef::oneway("x", 8)));
+        let c = b.add_object(ObjectDef::new("c").with_method(MethodDef::oneway("y", 8)));
+        b.connect(a, 0, c, 0, 0.0);
+        b.entry(a, 0);
+        assert_eq!(b.build().unwrap_err(), BuildAppError::BadMultiplicity(0.0));
+    }
+
+    #[test]
+    fn method_kinds() {
+        assert!(!MethodDef::oneway("a", 4).is_twoway());
+        assert!(MethodDef::twoway("b", 4, 8).is_twoway());
+    }
+}

@@ -1,0 +1,125 @@
+//! The object request broker's name service.
+//!
+//! The broker resolves an object reference to the platform node hosting it —
+//! the piece of CORBA machinery the paper keeps ("immediately familiar and
+//! intuitive to software developers exposed to mainstream distributed
+//! software techniques such as Java RMI or CORBA", §7.2) while stripping the
+//! heavyweight parts. A mapping produced by `nw-mapping` is installed here,
+//! and proxies consult it to address invocations.
+
+use nw_types::{NodeId, ObjectId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error from [`Broker::resolve`] for an unregistered object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolveError(pub ObjectId);
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "object {} is not registered with the broker", self.0)
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Name service mapping objects to the nodes hosting them.
+///
+/// # Examples
+///
+/// ```
+/// use nw_dsoc::Broker;
+/// use nw_types::{NodeId, ObjectId};
+///
+/// let mut broker = Broker::new();
+/// broker.register(ObjectId(0), NodeId(3));
+/// assert_eq!(broker.resolve(ObjectId(0))?, NodeId(3));
+/// assert!(broker.resolve(ObjectId(1)).is_err());
+/// # Ok::<(), nw_dsoc::ResolveError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Broker {
+    table: HashMap<ObjectId, NodeId>,
+}
+
+impl Broker {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        Broker::default()
+    }
+
+    /// Registers (or re-registers) an object at a node. Returns the previous
+    /// placement if the object moves.
+    pub fn register(&mut self, object: ObjectId, node: NodeId) -> Option<NodeId> {
+        self.table.insert(object, node)
+    }
+
+    /// Installs a whole placement (object `i` → `placement[i]`).
+    pub fn install(&mut self, placement: &[NodeId]) {
+        for (i, &n) in placement.iter().enumerate() {
+            self.table.insert(ObjectId(i), n);
+        }
+    }
+
+    /// Resolves an object to its hosting node.
+    ///
+    /// # Errors
+    ///
+    /// [`ResolveError`] when the object was never registered.
+    pub fn resolve(&self, object: ObjectId) -> Result<NodeId, ResolveError> {
+        self.table.get(&object).copied().ok_or(ResolveError(object))
+    }
+
+    /// Objects hosted on `node`, in ascending id order.
+    pub fn objects_on(&self, node: NodeId) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = self
+            .table
+            .iter()
+            .filter(|&(_, &n)| n == node)
+            .map(|(&o, _)| o)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_resolve_move() {
+        let mut b = Broker::new();
+        assert!(b.is_empty());
+        assert_eq!(b.register(ObjectId(1), NodeId(2)), None);
+        assert_eq!(b.resolve(ObjectId(1)), Ok(NodeId(2)));
+        assert_eq!(b.register(ObjectId(1), NodeId(5)), Some(NodeId(2)));
+        assert_eq!(b.resolve(ObjectId(1)), Ok(NodeId(5)));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn unregistered_resolve_fails() {
+        let b = Broker::new();
+        assert_eq!(b.resolve(ObjectId(9)), Err(ResolveError(ObjectId(9))));
+    }
+
+    #[test]
+    fn install_full_placement() {
+        let mut b = Broker::new();
+        b.install(&[NodeId(0), NodeId(1), NodeId(0)]);
+        assert_eq!(b.objects_on(NodeId(0)), vec![ObjectId(0), ObjectId(2)]);
+        assert_eq!(b.objects_on(NodeId(1)), vec![ObjectId(1)]);
+        assert_eq!(b.objects_on(NodeId(7)), Vec::<ObjectId>::new());
+    }
+}

@@ -1,0 +1,546 @@
+//! A small interface-definition language for DSOC applications.
+//!
+//! §5.2 of the paper bemoans "the proliferation of S/W specification
+//! languages" and asks for "some simplification and rationalization" —
+//! a single lightweight way to declare distributed objects. This module is
+//! that rationalization for the reproduction: a textual IDL that compiles
+//! directly to a validated [`Application`].
+//!
+//! # Grammar
+//!
+//! ```text
+//! app      := { object } { edge | entry }
+//! object   := "object" NAME [ "state" BYTES ] "{" { method } "}"
+//! method   := ("oneway" | "twoway") NAME "(" BYTES ["->" BYTES] ")"
+//!             [ "compute" CYCLES ] [ "local" BYTES ]
+//!             [ "domain" ("control"|"signal"|"packet"|"generic") ] ";"
+//! edge     := "call" NAME "." NAME "->" NAME "." NAME [ "x" FLOAT ] ";"
+//! entry    := "entry" NAME "." NAME ";"
+//! ```
+//!
+//! Comments run from `#` to end of line. Whitespace is free-form.
+//!
+//! # Examples
+//!
+//! ```
+//! use nw_dsoc::idl::parse_application;
+//!
+//! let app = parse_application(r#"
+//!     object parser { oneway ingest(44) compute 90 domain packet; }
+//!     object table state 2048 { twoway lookup(8 -> 8) compute 120; }
+//!     object sink   { oneway emit(44) compute 30; }
+//!
+//!     call parser.ingest -> table.lookup;
+//!     call parser.ingest -> sink.emit;
+//!     entry parser.ingest;
+//! "#)?;
+//! assert_eq!(app.objects().len(), 3);
+//! assert_eq!(app.edges().len(), 2);
+//! # Ok::<(), nw_dsoc::idl::ParseIdlError>(())
+//! ```
+
+use crate::app::{Application, BuildAppError, Domain, MethodDef, ObjectDef};
+use nw_types::ObjectId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from [`parse_application`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseIdlError {
+    /// Unexpected token (got, expected) at a source line.
+    Unexpected {
+        /// 1-based line number.
+        line: usize,
+        /// Token found.
+        got: String,
+        /// What the parser wanted.
+        expected: &'static str,
+    },
+    /// Input ended mid-construct.
+    UnexpectedEnd {
+        /// What the parser wanted next.
+        expected: &'static str,
+    },
+    /// A number failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// Reference to an undeclared object.
+    UnknownObject {
+        /// 1-based line number.
+        line: usize,
+        /// The name used.
+        name: String,
+    },
+    /// Reference to a method the object does not declare.
+    UnknownMethod {
+        /// 1-based line number.
+        line: usize,
+        /// `object.method` as written.
+        name: String,
+    },
+    /// Duplicate object name.
+    DuplicateObject {
+        /// 1-based line number.
+        line: usize,
+        /// The name declared twice.
+        name: String,
+    },
+    /// Structurally parsed but semantically invalid (cycles, no entry…).
+    Semantic(BuildAppError),
+}
+
+impl fmt::Display for ParseIdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseIdlError::Unexpected { line, got, expected } => {
+                write!(f, "line {line}: expected {expected}, got '{got}'")
+            }
+            ParseIdlError::UnexpectedEnd { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            ParseIdlError::BadNumber { line, token } => {
+                write!(f, "line {line}: '{token}' is not a number")
+            }
+            ParseIdlError::UnknownObject { line, name } => {
+                write!(f, "line {line}: unknown object '{name}'")
+            }
+            ParseIdlError::UnknownMethod { line, name } => {
+                write!(f, "line {line}: unknown method '{name}'")
+            }
+            ParseIdlError::DuplicateObject { line, name } => {
+                write!(f, "line {line}: object '{name}' declared twice")
+            }
+            ParseIdlError::Semantic(e) => write!(f, "invalid application: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseIdlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseIdlError::Semantic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildAppError> for ParseIdlError {
+    fn from(e: BuildAppError) -> Self {
+        ParseIdlError::Semantic(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    text: String,
+    line: usize,
+}
+
+/// Splits source into tokens; punctuation characters are their own tokens.
+fn tokenize(src: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (ln, raw_line) in src.lines().enumerate() {
+        let line = ln + 1;
+        let code = raw_line.split('#').next().unwrap_or("");
+        let mut cur = String::new();
+        let flush = |cur: &mut String, out: &mut Vec<Token>| {
+            if !cur.is_empty() {
+                out.push(Token { text: std::mem::take(cur), line });
+            }
+        };
+        let mut chars = code.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                c if c.is_whitespace() => flush(&mut cur, &mut out),
+                // A dot between digits is a decimal point, not punctuation.
+                '.' if !cur.is_empty()
+                    && cur.chars().all(|c| c.is_ascii_digit())
+                    && chars.peek().is_some_and(|c| c.is_ascii_digit()) =>
+                {
+                    cur.push('.');
+                }
+                '{' | '}' | '(' | ')' | ';' | '.' => {
+                    flush(&mut cur, &mut out);
+                    out.push(Token { text: c.to_string(), line });
+                }
+                '-' if chars.peek() == Some(&'>') => {
+                    chars.next();
+                    flush(&mut cur, &mut out);
+                    out.push(Token { text: "->".to_string(), line });
+                }
+                _ => cur.push(c),
+            }
+        }
+        flush(&mut cur, &mut out);
+    }
+    out
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self, expected: &'static str) -> Result<Token, ParseIdlError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or(ParseIdlError::UnexpectedEnd { expected })?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, what: &'static str) -> Result<Token, ParseIdlError> {
+        let t = self.next(what)?;
+        if t.text == what {
+            Ok(t)
+        } else {
+            Err(ParseIdlError::Unexpected {
+                line: t.line,
+                got: t.text,
+                expected: what,
+            })
+        }
+    }
+
+    fn number<T: std::str::FromStr>(&mut self, expected: &'static str) -> Result<T, ParseIdlError> {
+        let t = self.next(expected)?;
+        t.text.parse().map_err(|_| ParseIdlError::BadNumber {
+            line: t.line,
+            token: t.text,
+        })
+    }
+
+    fn ident(&mut self, expected: &'static str) -> Result<Token, ParseIdlError> {
+        let t = self.next(expected)?;
+        let ok = !t.text.is_empty()
+            && t.text
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '-');
+        if ok {
+            Ok(t)
+        } else {
+            Err(ParseIdlError::Unexpected {
+                line: t.line,
+                got: t.text,
+                expected,
+            })
+        }
+    }
+}
+
+/// Parses IDL source into a validated [`Application`].
+///
+/// # Errors
+///
+/// [`ParseIdlError`] for lexical/syntactic problems, unknown references,
+/// or (via [`BuildAppError`]) semantic violations such as call-graph
+/// cycles or a missing entry point.
+pub fn parse_application(src: &str) -> Result<Application, ParseIdlError> {
+    let mut p = Parser {
+        tokens: tokenize(src),
+        pos: 0,
+    };
+    let mut builder = Application::builder("idl");
+    let mut objects: HashMap<String, (ObjectId, HashMap<String, u16>)> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+
+    // Pass 1 constructs objects eagerly and records edges/entries to
+    // resolve as they appear (objects must be declared before use).
+    while let Some(t) = p.peek().cloned() {
+        match t.text.as_str() {
+            "object" => {
+                p.next("object")?;
+                let name_t = p.ident("object name")?;
+                let name = name_t.text.clone();
+                if objects.contains_key(&name) {
+                    return Err(ParseIdlError::DuplicateObject {
+                        line: name_t.line,
+                        name,
+                    });
+                }
+                let mut def = ObjectDef::new(&name);
+                if p.peek().is_some_and(|t| t.text == "state") {
+                    p.next("state")?;
+                    let bytes: u64 = p.number("state bytes")?;
+                    def = def.with_state_bytes(bytes);
+                }
+                p.expect("{")?;
+                let mut methods = HashMap::new();
+                loop {
+                    let t = p.next("method or '}'")?;
+                    match t.text.as_str() {
+                        "}" => break,
+                        kw @ ("oneway" | "twoway") => {
+                            let mname = p.ident("method name")?.text;
+                            p.expect("(")?;
+                            let arg: u64 = p.number("argument bytes")?;
+                            let mut reply = 0u64;
+                            let nxt = p.next("')' or '->'")?;
+                            match nxt.text.as_str() {
+                                ")" => {}
+                                "->" => {
+                                    reply = p.number("reply bytes")?;
+                                    p.expect(")")?;
+                                }
+                                other => {
+                                    return Err(ParseIdlError::Unexpected {
+                                        line: nxt.line,
+                                        got: other.to_string(),
+                                        expected: "')' or '->'",
+                                    })
+                                }
+                            }
+                            if kw == "twoway" && reply == 0 {
+                                reply = 1; // twoway always replies
+                            }
+                            let mut m = if reply > 0 {
+                                MethodDef::twoway(&mname, arg, reply)
+                            } else {
+                                MethodDef::oneway(&mname, arg)
+                            };
+                            // Optional attributes until ';'.
+                            loop {
+                                let a = p.next("attribute or ';'")?;
+                                match a.text.as_str() {
+                                    ";" => break,
+                                    "compute" => {
+                                        let c: u64 = p.number("compute cycles")?;
+                                        m = m.with_compute(c);
+                                    }
+                                    "local" => {
+                                        let b: u64 = p.number("local bytes")?;
+                                        m = m.with_local_bytes(b);
+                                    }
+                                    "domain" => {
+                                        let d = p.ident("domain name")?;
+                                        let dom = match d.text.as_str() {
+                                            "control" => Domain::Control,
+                                            "signal" => Domain::Signal,
+                                            "packet" => Domain::PacketHeader,
+                                            "generic" => Domain::Generic,
+                                            other => {
+                                                return Err(ParseIdlError::Unexpected {
+                                                    line: d.line,
+                                                    got: other.to_string(),
+                                                    expected:
+                                                        "control|signal|packet|generic",
+                                                })
+                                            }
+                                        };
+                                        m = m.with_domain(dom);
+                                    }
+                                    other => {
+                                        return Err(ParseIdlError::Unexpected {
+                                            line: a.line,
+                                            got: other.to_string(),
+                                            expected: "compute|local|domain|';'",
+                                        })
+                                    }
+                                }
+                            }
+                            let idx = def.methods.len() as u16;
+                            methods.insert(mname.clone(), idx);
+                            def = def.with_method(m);
+                        }
+                        other => {
+                            return Err(ParseIdlError::Unexpected {
+                                line: t.line,
+                                got: other.to_string(),
+                                expected: "'oneway', 'twoway' or '}'",
+                            })
+                        }
+                    }
+                }
+                let id = builder.add_object(def);
+                objects.insert(name.clone(), (id, methods));
+                order.push(name);
+            }
+            "call" => {
+                p.next("call")?;
+                let (from, from_m) = parse_ref(&mut p, &objects)?;
+                p.expect("->")?;
+                let (to, to_m) = parse_ref(&mut p, &objects)?;
+                let mult = if p.peek().is_some_and(|t| t.text == "x") {
+                    p.next("x")?;
+                    p.number::<f64>("multiplicity")?
+                } else {
+                    1.0
+                };
+                p.expect(";")?;
+                builder.connect(from, from_m, to, to_m, mult);
+            }
+            "entry" => {
+                p.next("entry")?;
+                let (obj, m) = parse_ref(&mut p, &objects)?;
+                p.expect(";")?;
+                builder.entry(obj, m);
+            }
+            other => {
+                return Err(ParseIdlError::Unexpected {
+                    line: t.line,
+                    got: other.to_string(),
+                    expected: "'object', 'call' or 'entry'",
+                })
+            }
+        }
+    }
+    Ok(builder.build()?)
+}
+
+/// Parses `object.method` and resolves it.
+fn parse_ref(
+    p: &mut Parser,
+    objects: &HashMap<String, (ObjectId, HashMap<String, u16>)>,
+) -> Result<(ObjectId, u16), ParseIdlError> {
+    let obj_t = p.ident("object name")?;
+    let (id, methods) = objects.get(&obj_t.text).ok_or(ParseIdlError::UnknownObject {
+        line: obj_t.line,
+        name: obj_t.text.clone(),
+    })?;
+    p.expect(".")?;
+    let m_t = p.ident("method name")?;
+    let m = methods.get(&m_t.text).ok_or(ParseIdlError::UnknownMethod {
+        line: m_t.line,
+        name: format!("{}.{}", obj_t.text, m_t.text),
+    })?;
+    Ok((*id, *m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PIPELINE: &str = r#"
+        # classic three-stage pipeline
+        object a { oneway in(40) compute 100 local 32 domain packet; }
+        object b state 4096 { twoway look(8 -> 16) compute 60; }
+        object c { oneway out(40) compute 30 domain control; }
+        call a.in -> b.look;
+        call a.in -> c.out;
+        entry a.in;
+    "#;
+
+    #[test]
+    fn parses_the_pipeline() {
+        let app = parse_application(PIPELINE).unwrap();
+        assert_eq!(app.objects().len(), 3);
+        assert_eq!(app.edges().len(), 2);
+        assert_eq!(app.entries().len(), 1);
+        let a = &app.objects()[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.methods[0].compute_cycles, 100);
+        assert_eq!(a.methods[0].local_bytes, 32);
+        assert_eq!(a.methods[0].domain, Domain::PacketHeader);
+        let b = &app.objects()[1];
+        assert_eq!(b.state_bytes, 4096);
+        assert!(b.methods[0].is_twoway());
+        assert_eq!(b.methods[0].reply_bytes, 16);
+    }
+
+    #[test]
+    fn multiplicity_attribute() {
+        let app = parse_application(
+            "object a { oneway m(8); } object b { oneway n(8); } \
+             call a.m -> b.n x 2.5; entry a.m;",
+        )
+        .unwrap();
+        assert!((app.edges()[0].calls_per_invocation - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_flow_through_parsed_app() {
+        let app = parse_application(PIPELINE).unwrap();
+        let rates = app.invocation_rates(&[0.01]);
+        assert!((rates[1][0] - 0.01).abs() < 1e-12);
+        assert!((rates[2][0] - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_object_reported_with_line() {
+        let err = parse_application("object a { oneway m(8); }\ncall a.m -> ghost.x;\nentry a.m;")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ParseIdlError::UnknownObject { line: 2, name: "ghost".into() }
+        );
+    }
+
+    #[test]
+    fn unknown_method_reported() {
+        let err = parse_application(
+            "object a { oneway m(8); } object b { oneway n(8); } call a.zz -> b.n; entry a.m;",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseIdlError::UnknownMethod { .. }));
+    }
+
+    #[test]
+    fn duplicate_object_rejected() {
+        let err = parse_application("object a { oneway m(8); } object a { oneway m(8); }")
+            .unwrap_err();
+        assert!(matches!(err, ParseIdlError::DuplicateObject { .. }));
+    }
+
+    #[test]
+    fn syntax_errors_carry_position() {
+        let err = parse_application("object a { banana }").unwrap_err();
+        match err {
+            ParseIdlError::Unexpected { line, got, .. } => {
+                assert_eq!(line, 1);
+                assert_eq!(got, "banana");
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semantic_errors_propagate() {
+        // No entry point.
+        let err = parse_application("object a { oneway m(8); }").unwrap_err();
+        assert_eq!(err, ParseIdlError::Semantic(BuildAppError::NoEntryPoint));
+        // Cycle.
+        let err = parse_application(
+            "object a { oneway m(8); } object b { oneway n(8); } \
+             call a.m -> b.n; call b.n -> a.m; entry a.m;",
+        )
+        .unwrap_err();
+        assert_eq!(err, ParseIdlError::Semantic(BuildAppError::CyclicCallGraph));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_free() {
+        let app = parse_application(
+            "# header\nobject a{oneway m(8);}# trailing\n\n   entry a.m ;",
+        )
+        .unwrap();
+        assert_eq!(app.objects().len(), 1);
+    }
+
+    #[test]
+    fn empty_input_fails_cleanly() {
+        assert_eq!(
+            parse_application("").unwrap_err(),
+            ParseIdlError::Semantic(BuildAppError::NoEntryPoint)
+        );
+    }
+
+    #[test]
+    fn twoway_without_reply_size_defaults_to_one() {
+        let app = parse_application(
+            "object a { twoway m(8); } entry a.m;",
+        )
+        .unwrap();
+        assert!(app.objects()[0].methods[0].is_twoway());
+    }
+}

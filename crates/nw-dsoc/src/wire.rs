@@ -1,0 +1,254 @@
+//! The DSOC on-wire message format.
+//!
+//! Marshalled invocations and replies are what actually crosses the NoC as
+//! packet payload. The format is a fixed 16-byte little-endian header
+//! followed by the argument/result bytes:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     kind (1 = invocation, 2 = reply)
+//! 1       1     reserved (must be 0)
+//! 2       4     object id
+//! 6       2     method id
+//! 8       4     sequence number (correlates replies with calls)
+//! 12      4     body length
+//! 16      n     body
+//! ```
+
+use crate::app::MethodId;
+use nw_types::ObjectId;
+use std::fmt;
+
+/// Message kind discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// A method invocation (request).
+    Invocation,
+    /// A reply to a twoway invocation.
+    Reply,
+}
+
+impl MessageKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            MessageKind::Invocation => 1,
+            MessageKind::Reply => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(MessageKind::Invocation),
+            2 => Some(MessageKind::Reply),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from [`Message::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the fixed header.
+    TooShort {
+        /// Bytes available.
+        have: usize,
+    },
+    /// Unknown kind byte.
+    BadKind(u8),
+    /// Reserved byte was not zero.
+    BadReserved(u8),
+    /// Body length field disagrees with the available bytes.
+    LengthMismatch {
+        /// Declared body length.
+        declared: usize,
+        /// Actual trailing bytes.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::TooShort { have } => {
+                write!(f, "message needs at least 16 bytes, got {have}")
+            }
+            DecodeError::BadKind(b) => write!(f, "unknown message kind {b}"),
+            DecodeError::BadReserved(b) => write!(f, "reserved byte must be 0, got {b}"),
+            DecodeError::LengthMismatch { declared, actual } => {
+                write!(f, "declared body length {declared} but {actual} bytes present")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A marshalled DSOC message.
+///
+/// # Examples
+///
+/// ```
+/// use nw_dsoc::{Message, MessageKind, MethodId};
+/// use nw_types::ObjectId;
+///
+/// let m = Message::invocation(ObjectId(3), MethodId(1), 42, vec![0xAB; 20]);
+/// let bytes = m.encode();
+/// let back = Message::decode(&bytes)?;
+/// assert_eq!(back, m);
+/// assert_eq!(back.wire_len(), 36);
+/// # Ok::<(), nw_dsoc::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Invocation or reply.
+    pub kind: MessageKind,
+    /// Target (for invocations) or originating (for replies) object.
+    pub object: ObjectId,
+    /// Target method.
+    pub method: MethodId,
+    /// Correlation sequence number.
+    pub seq: u32,
+    /// Marshalled argument or result bytes.
+    pub body: Vec<u8>,
+}
+
+impl Message {
+    /// Fixed header size in bytes.
+    pub const HEADER_LEN: usize = 16;
+
+    /// Creates an invocation message.
+    pub fn invocation(object: ObjectId, method: MethodId, seq: u32, body: Vec<u8>) -> Self {
+        Message {
+            kind: MessageKind::Invocation,
+            object,
+            method,
+            seq,
+            body,
+        }
+    }
+
+    /// Creates a reply message.
+    pub fn reply(object: ObjectId, method: MethodId, seq: u32, body: Vec<u8>) -> Self {
+        Message {
+            kind: MessageKind::Reply,
+            object,
+            method,
+            seq,
+            body,
+        }
+    }
+
+    /// Total encoded length.
+    pub fn wire_len(&self) -> usize {
+        Self::HEADER_LEN + self.body.len()
+    }
+
+    /// Encodes to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.push(self.kind.to_byte());
+        out.push(0);
+        out.extend_from_slice(&(self.object.0 as u32).to_le_bytes());
+        out.extend_from_slice(&self.method.0.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Decodes from bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`DecodeError`]; any malformed header or length mismatch is
+    /// rejected rather than guessed at.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        if bytes.len() < Self::HEADER_LEN {
+            return Err(DecodeError::TooShort { have: bytes.len() });
+        }
+        let kind = MessageKind::from_byte(bytes[0]).ok_or(DecodeError::BadKind(bytes[0]))?;
+        if bytes[1] != 0 {
+            return Err(DecodeError::BadReserved(bytes[1]));
+        }
+        let object = u32::from_le_bytes(bytes[2..6].try_into().expect("fixed slice"));
+        let method = u16::from_le_bytes(bytes[6..8].try_into().expect("fixed slice"));
+        let seq = u32::from_le_bytes(bytes[8..12].try_into().expect("fixed slice"));
+        let len = u32::from_le_bytes(bytes[12..16].try_into().expect("fixed slice")) as usize;
+        let actual = bytes.len() - Self::HEADER_LEN;
+        if len != actual {
+            return Err(DecodeError::LengthMismatch {
+                declared: len,
+                actual,
+            });
+        }
+        Ok(Message {
+            kind,
+            object: ObjectId(object as usize),
+            method: MethodId(method),
+            seq,
+            body: bytes[Self::HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_empty_body() {
+        let m = Message::reply(ObjectId(0), MethodId(0), 0, vec![]);
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+        assert_eq!(m.wire_len(), 16);
+    }
+
+    #[test]
+    fn roundtrip_large_ids() {
+        let m = Message::invocation(ObjectId(70_000), MethodId(65_535), u32::MAX, vec![7; 300]);
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        assert_eq!(
+            Message::decode(&[1, 0, 0]),
+            Err(DecodeError::TooShort { have: 3 })
+        );
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut b = Message::invocation(ObjectId(1), MethodId(1), 1, vec![]).encode();
+        b[0] = 9;
+        assert_eq!(Message::decode(&b), Err(DecodeError::BadKind(9)));
+    }
+
+    #[test]
+    fn bad_reserved_rejected() {
+        let mut b = Message::invocation(ObjectId(1), MethodId(1), 1, vec![]).encode();
+        b[1] = 1;
+        assert_eq!(Message::decode(&b), Err(DecodeError::BadReserved(1)));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut b = Message::invocation(ObjectId(1), MethodId(1), 1, vec![1, 2, 3]).encode();
+        b.pop();
+        assert_eq!(
+            Message::decode(&b),
+            Err(DecodeError::LengthMismatch { declared: 3, actual: 2 })
+        );
+    }
+
+    #[test]
+    fn header_layout_is_stable() {
+        let m = Message::invocation(ObjectId(0x01020304), MethodId(0x0506), 0x0708090A, vec![0xFF]);
+        let b = m.encode();
+        assert_eq!(b[0], 1);
+        assert_eq!(&b[2..6], &[0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(&b[6..8], &[0x06, 0x05]);
+        assert_eq!(&b[8..12], &[0x0A, 0x09, 0x08, 0x07]);
+        assert_eq!(&b[12..16], &[1, 0, 0, 0]);
+        assert_eq!(b[16], 0xFF);
+    }
+}

@@ -1,0 +1,43 @@
+//! Property tests for the DSOC wire format: roundtrip identity and
+//! decoder robustness against arbitrary bytes.
+
+use nw_dsoc::{Message, MessageKind, MethodId};
+use nw_types::ObjectId;
+use proptest::prelude::*;
+
+proptest! {
+    /// encode → decode is the identity for any message.
+    #[test]
+    fn roundtrip(
+        kind in prop_oneof![Just(MessageKind::Invocation), Just(MessageKind::Reply)],
+        object in 0usize..1_000_000,
+        method in any::<u16>(),
+        seq in any::<u32>(),
+        body in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let m = Message { kind, object: ObjectId(object), method: MethodId(method), seq, body };
+        let decoded = Message::decode(&m.encode()).expect("own encoding decodes");
+        prop_assert_eq!(decoded, m);
+    }
+
+    /// Decoding arbitrary bytes never panics, and any accepted input
+    /// re-encodes to exactly the same bytes (no lossy acceptance).
+    #[test]
+    fn decode_is_total_and_lossless(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(m) = Message::decode(&bytes) {
+            prop_assert_eq!(m.encode(), bytes);
+        }
+    }
+
+    /// Truncating a valid message always fails to decode.
+    #[test]
+    fn truncation_rejected(
+        body in prop::collection::vec(any::<u8>(), 1..64),
+        cut in 1usize..16,
+    ) {
+        let m = Message::invocation(ObjectId(1), MethodId(2), 3, body);
+        let enc = m.encode();
+        let cut = cut.min(enc.len());
+        prop_assert!(Message::decode(&enc[..enc.len() - cut]).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Hardware-versus-software complexity growth.
+//!
+//! §6 of the paper: "The growth of hardware complexity in SoC's has tracked
+//! Moore's law, with a resulting growth of 56% in transistor count per year.
+//! However, industry studies show that the complexity of embedded S/W is
+//! rising at a staggering 140% per year. In many leading SoC's today, the
+//! embedded S/W development effort has surpassed that of the H/W design
+//! effort."
+
+/// Reference year for the growth series (the paper's "today" is 2003; both
+/// efforts are taken as having been equal around 1998, consistent with
+/// "has surpassed" by 2003).
+pub const BASE_YEAR: u32 = 1998;
+
+/// Transistor count of a leading SoC in `year`, growing 56%/yr from a 20M
+/// transistor design at [`BASE_YEAR`] (which lands at ~120M in 2003 — the
+/// paper's "over 100 million transistors").
+pub fn hw_transistors(year: u32) -> f64 {
+    20e6 * 1.56f64.powf(f64::from(year) - f64::from(BASE_YEAR))
+}
+
+/// Embedded-software complexity (in normalized effort units, 1.0 at
+/// [`BASE_YEAR`]) growing 140%/yr.
+pub fn sw_complexity(year: u32) -> f64 {
+    2.4f64.powf(f64::from(year) - f64::from(BASE_YEAR))
+}
+
+/// Hardware design effort in the same normalized units (1.0 at
+/// [`BASE_YEAR`]), growing with transistor count but deflated by design
+/// reuse/tool productivity gains (~21%/yr per the classic ITRS
+/// design-productivity figures), netting ~29%/yr effort growth.
+pub fn hw_design_effort(year: u32) -> f64 {
+    (1.56f64 / 1.21).powf(f64::from(year) - f64::from(BASE_YEAR))
+}
+
+/// First year (searching from [`BASE_YEAR`]) in which software effort
+/// exceeds hardware design effort by at least `factor`.
+pub fn sw_overtakes_hw_year(factor: f64) -> u32 {
+    (BASE_YEAR..BASE_YEAR + 50)
+        .find(|&y| sw_complexity(y) >= factor * hw_design_effort(y))
+        .unwrap_or(BASE_YEAR + 50)
+}
+
+/// How many simple 32-bit RISC cores fit in `transistors` — the paper's §1:
+/// 100M transistors is "enough to theoretically place the logic of over one
+/// thousand 32 bit RISC processors on a die" (i.e. ~100k transistors per
+/// core, the classic integer-RISC logic budget).
+pub fn risc_cores_in(transistors: f64) -> f64 {
+    transistors / 100e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transistor_count_matches_the_papers_today() {
+        // "over 100 million transistors" in 2003.
+        let t2003 = hw_transistors(2003);
+        assert!(t2003 > 100e6 && t2003 < 250e6, "2003 count {t2003}");
+    }
+
+    #[test]
+    fn thousand_risc_cores_claim() {
+        // §1: 100M transistors ⇒ over one thousand 32-bit RISC cores.
+        assert!(risc_cores_in(100e6) >= 1000.0);
+        assert!(risc_cores_in(hw_transistors(2003)) > 1000.0);
+    }
+
+    #[test]
+    fn growth_rates_are_as_stated() {
+        assert!((hw_transistors(1999) / hw_transistors(1998) - 1.56).abs() < 1e-9);
+        assert!((sw_complexity(2000) / sw_complexity(1999) - 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sw_overtakes_hw_quickly() {
+        // Equal at BASE_YEAR; SW pulls ahead immediately and is >2x within
+        // two years — consistent with "has surpassed" by 2003.
+        let y = sw_overtakes_hw_year(1.0);
+        assert_eq!(y, BASE_YEAR);
+        let y2 = sw_overtakes_hw_year(2.0);
+        assert!(y2 <= 2000, "2x crossover at {y2}");
+        let y10 = sw_overtakes_hw_year(10.0);
+        assert!((2001..=2005).contains(&y10), "10x crossover at {y10}");
+    }
+
+    #[test]
+    fn effort_units_are_normalized_at_base() {
+        assert!((sw_complexity(BASE_YEAR) - 1.0).abs() < 1e-12);
+        assert!((hw_design_effort(BASE_YEAR) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,30 @@
+//! Semiconductor economics and technology-scaling trend models.
+//!
+//! The paper's motivation (§1, §2, §6) is quantitative even though it is a
+//! position paper, and every number it states is reproduced by a model in
+//! this crate:
+//!
+//! * [`nre`] — mask-set NRE ×10 in ~3 generations, > $1M at 90 nm; design
+//!   NRE $10–100M; break-even volumes at $5/chip and 20% margin (claims C1,
+//!   C2, experiments T1/T2).
+//! * [`growth`] — Moore's-law 56%/yr transistor growth versus 140%/yr
+//!   embedded-software complexity growth, and the §1 observation that 100M
+//!   transistors could hold "over one thousand 32 bit RISC processors"
+//!   (claim C3, experiment F3).
+//! * [`wire`] — cross-chip propagation delay reaching 6–10 clock cycles at
+//!   50 nm (claim C5, experiment F5, after Benini & De Micheli [12]).
+//! * [`continuum`] — the NRE–flexibility continuum from FPGA through
+//!   gate-array-style structured fabrics and platform SoCs to full-custom
+//!   ASICs (claim C11, experiment T7).
+
+pub mod continuum;
+pub mod growth;
+pub mod nre;
+pub mod productivity;
+pub mod wire;
+
+pub use continuum::{crossover_volume, ImplStyle};
+pub use growth::{hw_design_effort, hw_transistors, risc_cores_in, sw_complexity, sw_overtakes_hw_year};
+pub use nre::{break_even_volume, design_nre, mask_set_nre};
+pub use productivity::{evolutionary_peak, evolutionary_productivity, platform_productivity};
+pub use wire::{cross_chip_delay_cycles, wire_delay_ps_per_mm};

@@ -1,0 +1,130 @@
+//! Non-recurring expense models.
+//!
+//! §1 of the paper: "The SoC mask set manufacturing NRE cost has been
+//! multiplied by a factor of ten in about three process technology
+//! generations, exceeding 1M$ for current 90nm process … design NRE, which
+//! ranges from 10M$ to 100M$ for today's complex 0.13 micron designs."
+//! The models here are calibrated on exactly those two anchor points.
+
+use nw_types::{Dollars, TechNode};
+
+/// Mask-set manufacturing NRE at a node.
+///
+/// Anchored at $1M for 90 nm with a ×10 growth per 3 generations (×10^(1/3)
+/// per generation), per the paper's §1.
+///
+/// # Examples
+///
+/// ```
+/// use nw_econ::mask_set_nre;
+/// use nw_types::TechNode;
+///
+/// let m90 = mask_set_nre(TechNode::N90);
+/// assert!((m90.millions() - 1.0).abs() < 1e-9);
+/// // Three generations earlier: one tenth.
+/// let m250 = mask_set_nre(TechNode::N250);
+/// assert!((m250.millions() - 0.1).abs() < 1e-6);
+/// ```
+pub fn mask_set_nre(node: TechNode) -> Dollars {
+    let gens_past_90 = node.ladder_position() - TechNode::N90.ladder_position();
+    Dollars::from_millions(10f64.powf(gens_past_90 / 3.0))
+}
+
+/// Design NRE for a complex SoC at a node.
+///
+/// The paper gives $10–100M for 0.13 µm; `complexity` in `[0, 1]` spans that
+/// range geometrically (0 = modest 10M$ design, 1 = flagship 100M$ design).
+/// Design cost grows ~1.5× per generation (design-productivity gap: tools
+/// improve slower than transistor counts grow).
+///
+/// # Panics
+///
+/// Panics if `complexity` is outside `[0, 1]`.
+pub fn design_nre(node: TechNode, complexity: f64) -> Dollars {
+    assert!(
+        (0.0..=1.0).contains(&complexity),
+        "complexity {complexity} must be in [0, 1]"
+    );
+    let base = Dollars::from_millions(10f64 * 10f64.powf(complexity));
+    let gens_past_130 = node.ladder_position() - TechNode::N130.ladder_position();
+    base * 1.5f64.powf(gens_past_130)
+}
+
+/// Units that must be sold to recover `nre` at a given unit price and profit
+/// margin — the paper's "selling over one million chips simply to pay for
+/// the mask set NRE".
+///
+/// # Panics
+///
+/// Panics if `price` or `margin` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use nw_econ::{break_even_volume, mask_set_nre};
+/// use nw_types::{Dollars, TechNode};
+///
+/// // The paper's example: $5 chip, 20% margin, $1M mask at 90nm → 1M units.
+/// let v = break_even_volume(mask_set_nre(TechNode::N90), Dollars(5.0), 0.20);
+/// assert!((v - 1.0e6).abs() < 1.0);
+/// ```
+pub fn break_even_volume(nre: Dollars, price: Dollars, margin: f64) -> f64 {
+    assert!(price.0 > 0.0, "price must be positive");
+    assert!(margin > 0.0, "margin must be positive");
+    nre.0 / (price.0 * margin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_nre_tenfold_in_three_generations() {
+        // C1: ×10 per 3 generations, in both directions from the anchor.
+        let ratio = mask_set_nre(TechNode::N45).0 / mask_set_nre(TechNode::N90).0;
+        assert!((ratio - 10f64.powf(2.0 / 3.0)).abs() < 1e-6);
+        let ratio3 = mask_set_nre(TechNode::N90).0 / mask_set_nre(TechNode::N250).0;
+        assert!((ratio3 - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mask_nre_exceeds_1m_at_90nm_and_below() {
+        assert!(mask_set_nre(TechNode::N90).millions() >= 1.0);
+        assert!(mask_set_nre(TechNode::N65).millions() > 1.0);
+        assert!(mask_set_nre(TechNode::N130).millions() < 1.0);
+    }
+
+    #[test]
+    fn design_nre_range_at_130nm() {
+        // C2: $10M to $100M for 0.13 micron designs.
+        assert!((design_nre(TechNode::N130, 0.0).millions() - 10.0).abs() < 1e-9);
+        assert!((design_nre(TechNode::N130, 1.0).millions() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn design_breakeven_10_to_100_million_units() {
+        // C2: "volumes of 10 to 100 million chips to break even".
+        let price = Dollars(5.0);
+        let lo = break_even_volume(design_nre(TechNode::N130, 0.0), price, 0.20);
+        let hi = break_even_volume(design_nre(TechNode::N130, 1.0), price, 0.20);
+        assert!((lo - 10e6).abs() < 1.0, "low end {lo}");
+        assert!((hi - 100e6).abs() < 10.0, "high end {hi}");
+    }
+
+    #[test]
+    fn design_nre_grows_with_node() {
+        assert!(design_nre(TechNode::N90, 0.5).0 > design_nre(TechNode::N130, 0.5).0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn bad_complexity_panics() {
+        design_nre(TechNode::N90, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "price must be positive")]
+    fn bad_price_panics() {
+        break_even_volume(Dollars(1.0), Dollars(0.0), 0.2);
+    }
+}

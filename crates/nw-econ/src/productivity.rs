@@ -1,0 +1,93 @@
+//! Design productivity versus complexity — the paper's §2 warning.
+//!
+//! "In fact, it could be argued that for 90nm technologies and beyond, the
+//! design productivity (transistors designed per man-year) will actually
+//! decline due to the new deep submicron effects."
+//!
+//! The model: baseline productivity grows with tool/reuse improvements
+//! (~21%/yr, the classic ITRS design-technology figure), but below 130 nm
+//! each generation adds a deep-submicron verification/closure *tax*
+//! (signal integrity, OCV, leakage, DFM) that compounds — so net
+//! productivity peaks and then declines, exactly the §2 argument for
+//! changing the methodology instead of scaling it.
+
+use nw_types::TechNode;
+
+/// Transistors designed per man-year at `node` under the evolutionary
+/// (paper's "same way we are doing it now") methodology.
+///
+/// Calibrated at 1M transistors/man-year at 0.35 µm with 21%/yr tool gains
+/// (~1.5 years per node ⇒ ×1.33 per generation) and a deep-submicron
+/// closure tax of 35% extra effort per generation below 130 nm.
+pub fn evolutionary_productivity(node: TechNode) -> f64 {
+    let gens = node.ladder_position();
+    let tools = 1.0e6 * 1.33f64.powf(gens);
+    let dsm_gens = (gens - TechNode::N130.ladder_position()).max(0.0);
+    let tax = 1.35f64.powf(dsm_gens);
+    tools / tax
+}
+
+/// Productivity under the paper's platform methodology: the platform user
+/// writes software against a stable programming model, so the deep-
+/// submicron tax is paid once per *platform*, not per product. Modeled as
+/// the tool curve with only a mild (5%/generation) integration overhead.
+pub fn platform_productivity(node: TechNode) -> f64 {
+    let gens = node.ladder_position();
+    let tools = 1.0e6 * 1.33f64.powf(gens);
+    let dsm_gens = (gens - TechNode::N130.ladder_position()).max(0.0);
+    tools / 1.05f64.powf(dsm_gens)
+}
+
+/// The node at which evolutionary productivity peaks (searching the
+/// ladder): the paper predicts decline "for 90nm technologies and beyond".
+pub fn evolutionary_peak() -> TechNode {
+    TechNode::LADDER
+        .into_iter()
+        .max_by(|a, b| {
+            evolutionary_productivity(*a)
+                .partial_cmp(&evolutionary_productivity(*b))
+                .expect("finite productivity")
+        })
+        .expect("ladder is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn productivity_declines_beyond_130nm_under_evolution() {
+        // §2: decline at 90 nm and beyond.
+        let p130 = evolutionary_productivity(TechNode::N130);
+        let p90 = evolutionary_productivity(TechNode::N90);
+        let p65 = evolutionary_productivity(TechNode::N65);
+        let p45 = evolutionary_productivity(TechNode::N45);
+        assert!(p90 < p130 * 1.0, "90nm ({p90}) should not beat 130nm ({p130})");
+        assert!(p65 < p90);
+        assert!(p45 < p65);
+    }
+
+    #[test]
+    fn peak_is_at_130nm() {
+        assert_eq!(evolutionary_peak(), TechNode::N130);
+    }
+
+    #[test]
+    fn platform_methodology_keeps_growing() {
+        let p130 = platform_productivity(TechNode::N130);
+        let p45 = platform_productivity(TechNode::N45);
+        assert!(p45 > p130, "platform curve must keep rising");
+        // And beats evolutionary by a widening factor at 45 nm.
+        let ratio = p45 / evolutionary_productivity(TechNode::N45);
+        assert!(ratio > 2.0, "gap at 45nm should be large: {ratio}");
+    }
+
+    #[test]
+    fn curves_agree_above_130nm() {
+        for n in [TechNode::N350, TechNode::N250, TechNode::N180, TechNode::N130] {
+            let a = evolutionary_productivity(n);
+            let b = platform_productivity(n);
+            assert!((a - b).abs() < 1e-6, "{n}: {a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The IPv4 fast path as a DSOC application graph.
+//!
+//! §7.2's demonstration workload, expressed in the platform-independent
+//! object model: ingress classification, longest-prefix-match lookup, header
+//! rewrite, and egress — the stages every NPU fast path of the period
+//! implemented. Compute weights are GP-RISC baseline cycles calibrated
+//! against software IP-forwarding studies of the era (a few hundred cycles
+//! per packet end to end) and split so that lookup dominates, parse/rewrite
+//! follow, and egress is cheap.
+
+use nw_dsoc::{Application, BuildAppError, Domain, MethodDef, ObjectDef};
+use nw_types::ObjectId;
+
+/// Object/method layout of the fast-path application (indices into the
+/// built [`Application`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastPathLayout {
+    /// Ingress classifier object (entry point, method 0 = `ingest`).
+    pub classifier: ObjectId,
+    /// Route-lookup object (method 0 = twoway `lookup`).
+    pub lookup: ObjectId,
+    /// Header-rewrite object (method 0 = `rewrite`).
+    pub rewriter: ObjectId,
+    /// Egress object (method 0 = `emit`).
+    pub egress: ObjectId,
+}
+
+/// Per-stage compute weights (GP-RISC baseline cycles per packet).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastPathWeights {
+    /// Parse + validate (checksum verify).
+    pub classify_cycles: u64,
+    /// LPM lookup compute (trie walks on the lookup engine's PE).
+    pub lookup_cycles: u64,
+    /// TTL decrement + incremental checksum + encapsulation.
+    pub rewrite_cycles: u64,
+    /// Egress queuing.
+    pub emit_cycles: u64,
+}
+
+impl Default for FastPathWeights {
+    fn default() -> Self {
+        FastPathWeights {
+            classify_cycles: 90,
+            lookup_cycles: 80,
+            rewrite_cycles: 60,
+            emit_cycles: 30,
+        }
+    }
+}
+
+impl FastPathWeights {
+    /// Total cycles per packet at GP-RISC baseline speed.
+    pub fn total(&self) -> u64 {
+        self.classify_cycles + self.lookup_cycles + self.rewrite_cycles + self.emit_cycles
+    }
+}
+
+/// Builds the fast-path application with `replicas` parallel packet-worker
+/// chains sharing a single lookup object (the shared-table bottleneck that
+/// makes mapping interesting).
+///
+/// With `replicas = 1` the graph is the classic 4-stage pipeline. Larger
+/// replica counts model the paper's "large-scale multi-processor" instance:
+/// each replica is an independent classify→rewrite→emit chain, all calling
+/// the same lookup service.
+///
+/// # Errors
+///
+/// Propagates [`BuildAppError`] (cannot occur for valid `replicas >= 1`;
+/// `replicas == 0` yields [`BuildAppError::NoEntryPoint`]).
+pub fn fast_path_app(
+    replicas: usize,
+    weights: &FastPathWeights,
+) -> Result<(Application, Vec<FastPathLayout>), BuildAppError> {
+    let mut b = Application::builder("ipv4-fast-path");
+    let mut layouts = Vec::with_capacity(replicas);
+    // One shared lookup object: the route table lives in one place.
+    let lookup = b.add_object(
+        ObjectDef::new("route-lookup")
+            .with_method(
+                MethodDef::twoway("lookup", 8, 8)
+                    .with_compute(weights.lookup_cycles)
+                    .with_local_bytes(32)
+                    .with_domain(Domain::PacketHeader),
+            )
+            .with_state_bytes(2 * 1024 * 1024),
+    );
+    for r in 0..replicas {
+        let classifier = b.add_object(
+            ObjectDef::new(&format!("classifier-{r}"))
+                .with_method(
+                    MethodDef::oneway("ingest", 44)
+                        .with_compute(weights.classify_cycles)
+                        .with_local_bytes(40)
+                        .with_domain(Domain::PacketHeader),
+                )
+                .with_state_bytes(4 * 1024),
+        );
+        let rewriter = b.add_object(
+            ObjectDef::new(&format!("rewriter-{r}"))
+                .with_method(
+                    MethodDef::oneway("rewrite", 44)
+                        .with_compute(weights.rewrite_cycles)
+                        .with_local_bytes(40)
+                        .with_domain(Domain::PacketHeader),
+                )
+                .with_state_bytes(4 * 1024),
+        );
+        let egress = b.add_object(
+            ObjectDef::new(&format!("egress-{r}"))
+                .with_method(
+                    MethodDef::oneway("emit", 44)
+                        .with_compute(weights.emit_cycles)
+                        .with_domain(Domain::Control),
+                )
+                .with_state_bytes(16 * 1024),
+        );
+        b.connect(classifier, 0, lookup, 0, 1.0);
+        b.connect(classifier, 0, rewriter, 0, 1.0);
+        b.connect(rewriter, 0, egress, 0, 1.0);
+        b.entry(classifier, 0);
+        layouts.push(FastPathLayout {
+            classifier,
+            lookup,
+            rewriter,
+            egress,
+        });
+    }
+    Ok((b.build()?, layouts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_replica_shape() {
+        let (app, layouts) = fast_path_app(1, &FastPathWeights::default()).unwrap();
+        assert_eq!(app.objects().len(), 4);
+        assert_eq!(layouts.len(), 1);
+        assert_eq!(app.entries().len(), 1);
+        assert_eq!(app.edges().len(), 3);
+        assert_eq!(app.object(layouts[0].lookup).name, "route-lookup");
+    }
+
+    #[test]
+    fn replicas_share_the_lookup_object() {
+        let (app, layouts) = fast_path_app(4, &FastPathWeights::default()).unwrap();
+        assert_eq!(app.objects().len(), 1 + 4 * 3);
+        let lookup = layouts[0].lookup;
+        assert!(layouts.iter().all(|l| l.lookup == lookup));
+        // Lookup rate = sum of all entry rates.
+        let rates = app.invocation_rates(&vec![0.01; 4]);
+        assert!((rates[lookup.0][0] - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_flow_into_loads() {
+        let w = FastPathWeights::default();
+        let (app, layouts) = fast_path_app(1, &w).unwrap();
+        let loads = app.object_loads(&[0.001]);
+        assert!((loads[layouts[0].lookup.0] - w.lookup_cycles as f64 * 0.001).abs() < 1e-9);
+        assert!((loads[layouts[0].classifier.0] - w.classify_cycles as f64 * 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_replicas_is_rejected() {
+        assert_eq!(
+            fast_path_app(0, &FastPathWeights::default()).unwrap_err(),
+            BuildAppError::NoEntryPoint
+        );
+    }
+
+    #[test]
+    fn default_weights_total() {
+        assert_eq!(FastPathWeights::default().total(), 260);
+    }
+}

@@ -1,0 +1,329 @@
+//! IPv4 header parsing, serialization and checksums.
+//!
+//! Implements the subset of RFC 791 a router fast path touches: fixed
+//! 20-byte headers (options are accepted structurally but the fast path the
+//! paper describes punts them to the slow path), the RFC 1071 one's
+//! complement checksum, and the RFC 1624 incremental checksum update that
+//! makes TTL decrement O(1) instead of a full recompute.
+
+use std::fmt;
+
+/// Errors from [`Ipv4Header::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseHeaderError {
+    /// Fewer than 20 bytes available.
+    TooShort {
+        /// Bytes available.
+        have: usize,
+    },
+    /// Version field was not 4.
+    BadVersion(u8),
+    /// IHL below the minimum of 5 words.
+    BadIhl(u8),
+    /// Total-length field smaller than the header itself.
+    BadTotalLength(u16),
+    /// Header checksum did not verify.
+    BadChecksum {
+        /// Checksum found in the header.
+        found: u16,
+        /// Checksum expected over the received bytes.
+        expected: u16,
+    },
+    /// Header carries options (IHL > 5): valid IPv4 but not fast-path.
+    HasOptions(u8),
+}
+
+impl fmt::Display for ParseHeaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseHeaderError::TooShort { have } => {
+                write!(f, "need 20 header bytes, got {have}")
+            }
+            ParseHeaderError::BadVersion(v) => write!(f, "IP version {v} is not 4"),
+            ParseHeaderError::BadIhl(l) => write!(f, "IHL {l} below minimum 5"),
+            ParseHeaderError::BadTotalLength(l) => write!(f, "total length {l} below header size"),
+            ParseHeaderError::BadChecksum { found, expected } => {
+                write!(f, "checksum {found:#06x} != expected {expected:#06x}")
+            }
+            ParseHeaderError::HasOptions(l) => {
+                write!(f, "IHL {l} carries options; fast path handles IHL 5 only")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseHeaderError {}
+
+/// Error from [`Ipv4Header::decrement_ttl`] when TTL reaches zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TtlExpired;
+
+impl fmt::Display for TtlExpired {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "time-to-live expired in transit")
+    }
+}
+
+impl std::error::Error for TtlExpired {}
+
+/// A parsed IPv4 header (fixed 20-byte form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Header {
+    /// Differentiated services + ECN byte.
+    pub dscp_ecn: u8,
+    /// Total datagram length including header.
+    pub total_length: u16,
+    /// Identification field.
+    pub identification: u16,
+    /// Flags (3 bits) and fragment offset (13 bits).
+    pub flags_fragment: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol number.
+    pub protocol: u8,
+    /// Header checksum as carried.
+    pub checksum: u16,
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+}
+
+/// RFC 1071 one's complement sum over 16-bit big-endian words.
+///
+/// Odd trailing bytes are padded with zero, per the RFC.
+pub fn ones_complement_sum(bytes: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = bytes.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum as u16
+}
+
+impl Ipv4Header {
+    /// Header length of the fast-path (option-free) form.
+    pub const LEN: usize = 20;
+
+    /// Parses and fully validates a header from the front of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Any structural violation or checksum failure is rejected — see
+    /// [`ParseHeaderError`]. The fast path must never forward a corrupt
+    /// header.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseHeaderError> {
+        if bytes.len() < Self::LEN {
+            return Err(ParseHeaderError::TooShort { have: bytes.len() });
+        }
+        let version = bytes[0] >> 4;
+        if version != 4 {
+            return Err(ParseHeaderError::BadVersion(version));
+        }
+        let ihl = bytes[0] & 0x0F;
+        if ihl < 5 {
+            return Err(ParseHeaderError::BadIhl(ihl));
+        }
+        if ihl > 5 {
+            return Err(ParseHeaderError::HasOptions(ihl));
+        }
+        let total_length = u16::from_be_bytes([bytes[2], bytes[3]]);
+        if (total_length as usize) < Self::LEN {
+            return Err(ParseHeaderError::BadTotalLength(total_length));
+        }
+        // Verify: one's complement sum over the header including the
+        // checksum field must be 0xFFFF.
+        let sum = ones_complement_sum(&bytes[..Self::LEN]);
+        if sum != 0xFFFF {
+            let found = u16::from_be_bytes([bytes[10], bytes[11]]);
+            let mut fixed = [0u8; Self::LEN];
+            fixed.copy_from_slice(&bytes[..Self::LEN]);
+            fixed[10] = 0;
+            fixed[11] = 0;
+            let expected = !ones_complement_sum(&fixed);
+            return Err(ParseHeaderError::BadChecksum { found, expected });
+        }
+        Ok(Ipv4Header {
+            dscp_ecn: bytes[1],
+            total_length,
+            identification: u16::from_be_bytes([bytes[4], bytes[5]]),
+            flags_fragment: u16::from_be_bytes([bytes[6], bytes[7]]),
+            ttl: bytes[8],
+            protocol: bytes[9],
+            checksum: u16::from_be_bytes([bytes[10], bytes[11]]),
+            src: u32::from_be_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]),
+            dst: u32::from_be_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]),
+        })
+    }
+
+    /// Serializes to 20 bytes, using the stored checksum field verbatim.
+    pub fn to_bytes(&self) -> [u8; Self::LEN] {
+        let mut b = [0u8; Self::LEN];
+        b[0] = 0x45; // version 4, IHL 5
+        b[1] = self.dscp_ecn;
+        b[2..4].copy_from_slice(&self.total_length.to_be_bytes());
+        b[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        b[6..8].copy_from_slice(&self.flags_fragment.to_be_bytes());
+        b[8] = self.ttl;
+        b[9] = self.protocol;
+        b[10..12].copy_from_slice(&self.checksum.to_be_bytes());
+        b[12..16].copy_from_slice(&self.src.to_be_bytes());
+        b[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        b
+    }
+
+    /// Computes the correct checksum for the current field values and stores
+    /// it.
+    pub fn refresh_checksum(&mut self) {
+        self.checksum = 0;
+        let mut b = self.to_bytes();
+        b[10] = 0;
+        b[11] = 0;
+        self.checksum = !ones_complement_sum(&b);
+    }
+
+    /// Decrements TTL and applies the RFC 1624 incremental checksum update
+    /// (`HC' = ~(~HC + ~m + m')` where `m` is the old TTL/protocol word).
+    ///
+    /// # Errors
+    ///
+    /// [`TtlExpired`] when the TTL is already 0 or becomes 0 — the packet
+    /// must be dropped (and an ICMP time-exceeded raised by the slow path).
+    pub fn decrement_ttl(&mut self) -> Result<(), TtlExpired> {
+        if self.ttl <= 1 {
+            return Err(TtlExpired);
+        }
+        let old_word = u16::from_be_bytes([self.ttl, self.protocol]);
+        self.ttl -= 1;
+        let new_word = u16::from_be_bytes([self.ttl, self.protocol]);
+        let mut sum = u32::from(!self.checksum)
+            + u32::from(!old_word)
+            + u32::from(new_word);
+        while sum > 0xFFFF {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        self.checksum = !(sum as u16);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        let mut h = Ipv4Header {
+            dscp_ecn: 0,
+            total_length: 40,
+            identification: 0x1c46,
+            flags_fragment: 0x4000,
+            ttl: 64,
+            protocol: 6,
+            checksum: 0,
+            src: u32::from_be_bytes([10, 0, 0, 1]),
+            dst: u32::from_be_bytes([192, 168, 1, 1]),
+        };
+        h.refresh_checksum();
+        h
+    }
+
+    #[test]
+    fn roundtrip_parse_serialize() {
+        let h = sample();
+        let parsed = Ipv4Header::parse(&h.to_bytes()).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn rfc1071_reference_vector() {
+        // Classic example: checksum of this well-known header is 0xB861.
+        let bytes: [u8; 20] = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(!ones_complement_sum(&bytes), 0xB861);
+    }
+
+    #[test]
+    fn corrupted_byte_is_caught() {
+        let h = sample();
+        let mut b = h.to_bytes().to_vec();
+        b[15] ^= 0x01;
+        match Ipv4Header::parse(&b) {
+            Err(ParseHeaderError::BadChecksum { .. }) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert_eq!(
+            Ipv4Header::parse(&[0u8; 10]),
+            Err(ParseHeaderError::TooShort { have: 10 })
+        );
+        let h = sample();
+        let mut b = h.to_bytes();
+        b[0] = 0x65; // version 6
+        assert_eq!(Ipv4Header::parse(&b), Err(ParseHeaderError::BadVersion(6)));
+        b[0] = 0x43; // IHL 3
+        assert_eq!(Ipv4Header::parse(&b), Err(ParseHeaderError::BadIhl(3)));
+        b[0] = 0x46; // IHL 6 = options
+        assert_eq!(Ipv4Header::parse(&b), Err(ParseHeaderError::HasOptions(6)));
+    }
+
+    #[test]
+    fn bad_total_length() {
+        let mut h = sample();
+        h.total_length = 10;
+        h.refresh_checksum();
+        assert_eq!(
+            Ipv4Header::parse(&h.to_bytes()),
+            Err(ParseHeaderError::BadTotalLength(10))
+        );
+    }
+
+    #[test]
+    fn incremental_ttl_update_matches_recompute() {
+        let mut inc = sample();
+        inc.decrement_ttl().unwrap();
+        let mut full = sample();
+        full.ttl -= 1;
+        full.refresh_checksum();
+        assert_eq!(inc.checksum, full.checksum);
+        // And the updated header still verifies.
+        assert!(Ipv4Header::parse(&inc.to_bytes()).is_ok());
+    }
+
+    #[test]
+    fn repeated_decrements_stay_consistent() {
+        let mut h = sample();
+        for _ in 0..62 {
+            h.decrement_ttl().unwrap();
+            assert!(Ipv4Header::parse(&h.to_bytes()).is_ok(), "ttl={}", h.ttl);
+        }
+        assert_eq!(h.ttl, 2);
+        h.decrement_ttl().unwrap();
+        assert_eq!(h.decrement_ttl(), Err(TtlExpired));
+    }
+
+    #[test]
+    fn ttl_zero_expires() {
+        let mut h = sample();
+        h.ttl = 0;
+        assert_eq!(h.decrement_ttl(), Err(TtlExpired));
+        h.ttl = 1;
+        assert_eq!(h.decrement_ttl(), Err(TtlExpired));
+    }
+
+    #[test]
+    fn odd_length_checksum_pads() {
+        assert_eq!(ones_complement_sum(&[0x12]), 0x1200);
+        assert_eq!(ones_complement_sum(&[]), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! The IPv4 fast-path workload.
+//!
+//! §7.2 of the paper demonstrates DSOC by mapping "a complete IPv4 fast-path
+//! application onto a large-scale multi-processor and H/W multi-threaded
+//! instance of the StepNP platform … processing worst-case traffic at a
+//! 10 Gbit line rate", and §8 cites the NPSE SRAM-based packet search engine
+//! that "in comparison with CAM-based look-up methods … is more memory and
+//! power-efficient" [9].
+//!
+//! This crate is that workload, built for real:
+//!
+//! * [`header`] — IPv4 header parsing/serialization, RFC 1071 checksums and
+//!   the RFC 1624 incremental update used on TTL decrement.
+//! * [`lpm`] — longest-prefix-match engines: a linear reference, a binary
+//!   trie, the multibit-stride SRAM trie (the NPSE stand-in), and the
+//!   ternary-CAM cost model it is compared against (experiment T5).
+//! * [`routes`] — synthetic route tables with a realistic prefix-length
+//!   distribution.
+//! * [`traffic`] — worst-case (40-byte) and IMIX packet generators that
+//!   produce real, checksum-valid packet bytes.
+//! * [`app`] — the fast path expressed as a DSOC application graph, ready
+//!   for the MultiFlex mappers and the FPPA platform.
+
+pub mod app;
+pub mod header;
+pub mod lpm;
+pub mod routes;
+pub mod traffic;
+
+pub use header::{Ipv4Header, ParseHeaderError, TtlExpired};
+pub use lpm::{BinaryTrie, CamTable, LinearTable, LpmTable, MultibitTrie, Prefix};
+pub use routes::{synthetic_table, RouteTableConfig};
+pub use traffic::{PacketGenerator, TrafficMix};

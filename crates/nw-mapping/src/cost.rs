@@ -1,0 +1,152 @@
+//! The analytic mapping cost model.
+//!
+//! Two terms, both derived from the rate propagation in `nw-dsoc`:
+//!
+//! * **Bottleneck load** — the most-loaded PE's utilization demand. In a
+//!   pipelined system the sustainable throughput is `rate / max_load`, so
+//!   minimizing the bottleneck maximizes throughput.
+//! * **Communication** — bytes/cycle crossing the NoC weighted by hop
+//!   distance (local calls are free); this is both NoC energy and a
+//!   saturation-risk proxy.
+//!
+//! The weighted sum is what the MultiFlex-style mappers minimize. Weights
+//! default to emphasizing throughput (`alpha = 1.0`) with a gentle
+//! communication pressure (`beta = 0.05` per byte-hop/cycle).
+
+use crate::problem::MappingProblem;
+
+/// Weights of the two cost terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Weight of the bottleneck-load term.
+    pub alpha: f64,
+    /// Weight of the communication term (per byte-hop per cycle).
+    pub beta: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { alpha: 1.0, beta: 0.05 }
+    }
+}
+
+/// Evaluated cost of one placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Utilization demand of the most-loaded PE (1.0 = fully busy).
+    pub bottleneck_load: f64,
+    /// Total byte-hops per cycle crossing the NoC.
+    pub comm_byte_hops: f64,
+    /// Weighted total.
+    pub total: f64,
+}
+
+impl CostModel {
+    /// Evaluates `placement` (object index → PE slot index) against the
+    /// problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placement` has the wrong length or names a PE slot out of
+    /// range — placements are produced by mappers, so this indicates a bug.
+    pub fn evaluate(&self, problem: &MappingProblem, placement: &[usize]) -> CostBreakdown {
+        assert_eq!(
+            placement.len(),
+            problem.n_objects(),
+            "placement must cover every object"
+        );
+        let n_pes = problem.n_pes();
+        let mut load = vec![0.0f64; n_pes];
+        for (obj, &pe) in placement.iter().enumerate() {
+            assert!(pe < n_pes, "placement names PE {pe} of {n_pes}");
+            load[pe] += problem.object_loads()[obj] / problem.pes()[pe].capacity;
+        }
+        let bottleneck_load = load.iter().cloned().fold(0.0, f64::max);
+
+        let mut comm = 0.0;
+        for (e, &traffic) in problem.app().edges().iter().zip(problem.edge_traffic()) {
+            let from_pe = placement[e.from.0];
+            let to_pe = placement[e.to.0];
+            comm += traffic * problem.pe_hops(from_pe, to_pe);
+        }
+        CostBreakdown {
+            bottleneck_load,
+            comm_byte_hops: comm,
+            total: self.alpha * bottleneck_load + self.beta * comm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::PeSlot;
+    use nw_dsoc::{Application, MethodDef, ObjectDef};
+    use nw_types::NodeId;
+
+    fn problem() -> MappingProblem {
+        let mut b = Application::builder("t");
+        let a = b.add_object(ObjectDef::new("a").with_method(
+            MethodDef::oneway("x", 32).with_compute(100),
+        ));
+        let c = b.add_object(ObjectDef::new("c").with_method(
+            MethodDef::oneway("y", 32).with_compute(100),
+        ));
+        b.connect(a, 0, c, 0, 1.0);
+        b.entry(a, 0);
+        MappingProblem::new(
+            b.build().unwrap(),
+            vec![0.002],
+            vec![PeSlot::new(NodeId(0), 1.0), PeSlot::new(NodeId(1), 1.0)],
+            vec![vec![0.0, 3.0], vec![3.0, 0.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn colocated_placement_has_zero_comm_but_double_load() {
+        let p = problem();
+        let m = CostModel::default();
+        let together = m.evaluate(&p, &[0, 0]);
+        let apart = m.evaluate(&p, &[0, 1]);
+        assert_eq!(together.comm_byte_hops, 0.0);
+        assert!((together.bottleneck_load - 0.4).abs() < 1e-12); // 2×100×0.002
+        assert!((apart.bottleneck_load - 0.2).abs() < 1e-12);
+        // Apart: 32 B × 0.002/cyc × 3 hops (+ header-free model).
+        assert!((apart.comm_byte_hops - 0.192).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_steer_the_total() {
+        let p = problem();
+        let load_only = CostModel { alpha: 1.0, beta: 0.0 };
+        let comm_only = CostModel { alpha: 0.0, beta: 1.0 };
+        assert!(load_only.evaluate(&p, &[0, 1]).total < load_only.evaluate(&p, &[0, 0]).total);
+        assert!(comm_only.evaluate(&p, &[0, 0]).total < comm_only.evaluate(&p, &[0, 1]).total);
+    }
+
+    #[test]
+    fn capacity_scales_load() {
+        let mut b = Application::builder("t");
+        let a = b.add_object(ObjectDef::new("a").with_method(
+            MethodDef::oneway("x", 8).with_compute(100),
+        ));
+        b.entry(a, 0);
+        let p = MappingProblem::new(
+            b.build().unwrap(),
+            vec![0.002],
+            vec![PeSlot::new(NodeId(0), 4.0)],
+            vec![vec![0.0]],
+        )
+        .unwrap();
+        let c = CostModel::default().evaluate(&p, &[0]);
+        assert!((c.bottleneck_load - 0.05).abs() < 1e-12); // 0.2 / 4
+    }
+
+    #[test]
+    #[should_panic(expected = "placement must cover")]
+    fn wrong_length_placement_panics() {
+        let p = problem();
+        CostModel::default().evaluate(&p, &[0]);
+    }
+}

@@ -1,0 +1,396 @@
+//! Mapping algorithms, from naive baselines to simulated annealing.
+
+use crate::cost::{CostBreakdown, CostModel};
+use crate::problem::MappingProblem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A placement of objects onto PE slots, with its evaluated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    /// `placement[object] = pe slot index`.
+    pub placement: Vec<usize>,
+    /// Evaluated cost of the placement.
+    pub cost: CostBreakdown,
+}
+
+/// A mapping algorithm.
+///
+/// Implementations must return a *valid* placement: one PE slot index per
+/// object. They are deterministic given their construction parameters
+/// (seeded RNGs), which keeps design-space exploration reproducible.
+pub trait Mapper {
+    /// Computes a mapping for the problem.
+    fn map(&self, problem: &MappingProblem) -> Mapping;
+
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn evaluated(problem: &MappingProblem, placement: Vec<usize>) -> Mapping {
+    let cost = CostModel::default().evaluate(problem, &placement);
+    Mapping { placement, cost }
+}
+
+/// Uniform random placement (the "no tool at all" baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomMapper {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Mapper for RandomMapper {
+    fn map(&self, problem: &MappingProblem) -> Mapping {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let placement = (0..problem.n_objects())
+            .map(|_| rng.gen_range(0..problem.n_pes()))
+            .collect();
+        evaluated(problem, placement)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Object `i` goes to PE `i mod n_pes` — ignores loads and traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinMapper;
+
+impl Mapper for RoundRobinMapper {
+    fn map(&self, problem: &MappingProblem) -> Mapping {
+        let n = problem.n_pes();
+        let placement = (0..problem.n_objects()).map(|i| i % n).collect();
+        evaluated(problem, placement)
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Greedy: places objects in descending load order, each on the PE that
+/// minimizes the incremental total cost given the objects placed so far.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyLoadMapper;
+
+impl Mapper for GreedyLoadMapper {
+    fn map(&self, problem: &MappingProblem) -> Mapping {
+        let n_obj = problem.n_objects();
+        let n_pes = problem.n_pes();
+        let mut order: Vec<usize> = (0..n_obj).collect();
+        order.sort_by(|&a, &b| {
+            problem.object_loads()[b]
+                .partial_cmp(&problem.object_loads()[a])
+                .expect("loads are finite")
+        });
+
+        let model = CostModel::default();
+        let mut placement = vec![usize::MAX; n_obj];
+        let mut pe_load = vec![0.0f64; n_pes];
+        for &obj in &order {
+            let mut best = (0usize, f64::INFINITY);
+            for pe in 0..n_pes {
+                // Incremental cost over the objects placed so far: the new
+                // bottleneck plus the communication this object adds to its
+                // already-placed neighbors.
+                let load_here =
+                    pe_load[pe] + problem.object_loads()[obj] / problem.pes()[pe].capacity;
+                let bottleneck = pe_load
+                    .iter()
+                    .enumerate()
+                    .map(|(q, &l)| if q == pe { load_here } else { l })
+                    .fold(0.0, f64::max);
+                let mut comm = 0.0;
+                for (e, &traffic) in problem.app().edges().iter().zip(problem.edge_traffic()) {
+                    let (other, here_is_from) = if e.from.0 == obj {
+                        (e.to.0, true)
+                    } else if e.to.0 == obj {
+                        (e.from.0, false)
+                    } else {
+                        continue;
+                    };
+                    let other_pe = placement[other];
+                    if other_pe == usize::MAX {
+                        continue;
+                    }
+                    let _ = here_is_from;
+                    comm += traffic * problem.pe_hops(pe, other_pe);
+                }
+                let c = model.alpha * bottleneck + model.beta * comm;
+                if c < best.1 {
+                    best = (pe, c);
+                }
+            }
+            placement[obj] = best.0;
+            pe_load[best.0] += problem.object_loads()[obj] / problem.pes()[best.0].capacity;
+        }
+        evaluated(problem, placement)
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy-load"
+    }
+}
+
+/// Simulated annealing over move/swap neighborhoods.
+///
+/// The cooling schedule is geometric; the move set mixes single-object
+/// relocations with object swaps (swaps preserve per-PE object counts, which
+/// helps escape load-balance plateaus).
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedAnnealingMapper {
+    /// Iteration budget.
+    pub iterations: u32,
+    /// Initial temperature (in cost units).
+    pub t0: f64,
+    /// Geometric cooling factor per iteration, in (0, 1).
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimulatedAnnealingMapper {
+    fn default() -> Self {
+        SimulatedAnnealingMapper {
+            iterations: 20_000,
+            t0: 0.5,
+            cooling: 0.9995,
+            seed: 0x5A_5EED,
+        }
+    }
+}
+
+impl Mapper for SimulatedAnnealingMapper {
+    fn map(&self, problem: &MappingProblem) -> Mapping {
+        let model = CostModel::default();
+        // Seed with greedy: SA refines rather than starting cold.
+        let mut current = GreedyLoadMapper.map(problem).placement;
+        let mut cur_cost = model.evaluate(problem, &current).total;
+        let mut best = current.clone();
+        let mut best_cost = cur_cost;
+        let n_obj = problem.n_objects();
+        let n_pes = problem.n_pes();
+        if n_obj == 0 || n_pes < 2 {
+            return evaluated(problem, current);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut t = self.t0;
+        for _ in 0..self.iterations {
+            let mut trial = current.clone();
+            if n_obj >= 2 && rng.gen_bool(0.3) {
+                // Swap two objects' PEs.
+                let a = rng.gen_range(0..n_obj);
+                let b = rng.gen_range(0..n_obj);
+                trial.swap(a, b);
+            } else {
+                // Move one object to a random PE.
+                let o = rng.gen_range(0..n_obj);
+                trial[o] = rng.gen_range(0..n_pes);
+            }
+            let c = model.evaluate(problem, &trial).total;
+            let accept = c <= cur_cost || {
+                let d = (cur_cost - c) / t.max(1e-12);
+                rng.gen_bool(d.exp().clamp(0.0, 1.0))
+            };
+            if accept {
+                current = trial;
+                cur_cost = c;
+                if c < best_cost {
+                    best = current.clone();
+                    best_cost = c;
+                }
+            }
+            t *= self.cooling;
+        }
+        evaluated(problem, best)
+    }
+
+    fn name(&self) -> &'static str {
+        "simulated-annealing"
+    }
+}
+
+/// Exhaustive search — optimal, feasible only for tiny instances.
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveMapper {
+    /// Refuses problems with more than this many candidate placements.
+    pub max_candidates: u64,
+}
+
+impl Default for ExhaustiveMapper {
+    fn default() -> Self {
+        ExhaustiveMapper { max_candidates: 10_000_000 }
+    }
+}
+
+impl Mapper for ExhaustiveMapper {
+    /// # Panics
+    ///
+    /// Panics if `n_pes^n_objects` exceeds `max_candidates` — exhaustive
+    /// search on such instances is a caller error, not a recoverable state.
+    fn map(&self, problem: &MappingProblem) -> Mapping {
+        let n_obj = problem.n_objects() as u32;
+        let n_pes = problem.n_pes() as u64;
+        let candidates = n_pes.checked_pow(n_obj).unwrap_or(u64::MAX);
+        assert!(
+            candidates <= self.max_candidates,
+            "exhaustive search over {candidates} placements exceeds the limit"
+        );
+        let model = CostModel::default();
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        let mut placement = vec![0usize; n_obj as usize];
+        for code in 0..candidates {
+            let mut c = code;
+            for slot in placement.iter_mut() {
+                *slot = (c % n_pes) as usize;
+                c /= n_pes;
+            }
+            let cost = model.evaluate(problem, &placement).total;
+            if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+                best = Some((placement.clone(), cost));
+            }
+        }
+        let (placement, _) = best.expect("at least one candidate");
+        evaluated(problem, placement)
+    }
+
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::PeSlot;
+    use nw_dsoc::{Application, MethodDef, ObjectDef};
+    use nw_types::NodeId;
+
+    /// A 6-object pipeline with uneven loads on a 3-PE line.
+    fn pipeline_problem() -> MappingProblem {
+        let mut b = Application::builder("pipe");
+        let weights = [200u64, 50, 120, 80, 160, 40];
+        let ids: Vec<_> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                b.add_object(
+                    ObjectDef::new(&format!("o{i}"))
+                        .with_method(MethodDef::oneway("m", 32).with_compute(w)),
+                )
+            })
+            .collect();
+        for w in ids.windows(2) {
+            b.connect(w[0], 0, w[1], 0, 1.0);
+        }
+        b.entry(ids[0], 0);
+        let app = b.build().unwrap();
+        let hops = vec![
+            vec![0.0, 1.0, 2.0],
+            vec![1.0, 0.0, 1.0],
+            vec![2.0, 1.0, 0.0],
+        ];
+        MappingProblem::new(
+            app,
+            vec![0.004],
+            (0..3).map(|i| PeSlot::new(NodeId(i), 1.0)).collect(),
+            hops,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_mappers_produce_valid_placements() {
+        let p = pipeline_problem();
+        let mappers: Vec<Box<dyn Mapper>> = vec![
+            Box::new(RandomMapper { seed: 1 }),
+            Box::new(RoundRobinMapper),
+            Box::new(GreedyLoadMapper),
+            Box::new(SimulatedAnnealingMapper::default()),
+            Box::new(ExhaustiveMapper::default()),
+        ];
+        for m in &mappers {
+            let r = m.map(&p);
+            assert_eq!(r.placement.len(), p.n_objects(), "{}", m.name());
+            assert!(r.placement.iter().all(|&pe| pe < p.n_pes()), "{}", m.name());
+            assert!(r.cost.total.is_finite());
+        }
+    }
+
+    #[test]
+    fn quality_ordering_sa_beats_baselines() {
+        let p = pipeline_problem();
+        let random = RandomMapper { seed: 7 }.map(&p).cost.total;
+        let greedy = GreedyLoadMapper.map(&p).cost.total;
+        let sa = SimulatedAnnealingMapper::default().map(&p).cost.total;
+        let optimal = ExhaustiveMapper::default().map(&p).cost.total;
+        assert!(sa <= greedy + 1e-9, "SA {sa} must not lose to greedy {greedy}");
+        assert!(sa <= random + 1e-9, "SA {sa} must not lose to random {random}");
+        assert!(optimal <= sa + 1e-9, "optimal {optimal} bounds SA {sa}");
+        // SA should get within 5% of optimal on this small instance.
+        assert!(sa <= optimal * 1.05 + 1e-9, "SA {sa} vs optimal {optimal}");
+    }
+
+    #[test]
+    fn greedy_balances_equal_objects() {
+        let mut b = Application::builder("eq");
+        let ids: Vec<_> = (0..4)
+            .map(|i| {
+                b.add_object(
+                    ObjectDef::new(&format!("o{i}"))
+                        .with_method(MethodDef::oneway("m", 8).with_compute(100)),
+                )
+            })
+            .collect();
+        for &i in &ids {
+            b.entry(i, 0);
+        }
+        let p = MappingProblem::new(
+            b.build().unwrap(),
+            vec![0.001; 4],
+            vec![PeSlot::new(NodeId(0), 1.0), PeSlot::new(NodeId(1), 1.0)],
+            vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+        )
+        .unwrap();
+        let m = GreedyLoadMapper.map(&p);
+        let on0 = m.placement.iter().filter(|&&x| x == 0).count();
+        assert_eq!(on0, 2, "greedy must split 4 equal objects 2/2: {:?}", m.placement);
+    }
+
+    #[test]
+    fn sa_is_deterministic_per_seed() {
+        let p = pipeline_problem();
+        let a = SimulatedAnnealingMapper::default().map(&p);
+        let b = SimulatedAnnealingMapper::default().map(&p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_pe_maps_everything_there() {
+        let mut b = Application::builder("one");
+        let a = b.add_object(ObjectDef::new("a").with_method(MethodDef::oneway("m", 8)));
+        b.entry(a, 0);
+        let p = MappingProblem::new(
+            b.build().unwrap(),
+            vec![0.001],
+            vec![PeSlot::new(NodeId(0), 1.0)],
+            vec![vec![0.0]],
+        )
+        .unwrap();
+        for m in [
+            SimulatedAnnealingMapper::default().map(&p),
+            GreedyLoadMapper.map(&p),
+            RoundRobinMapper.map(&p),
+        ] {
+            assert_eq!(m.placement, vec![0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the limit")]
+    fn exhaustive_refuses_huge_instances() {
+        let p = pipeline_problem();
+        ExhaustiveMapper { max_candidates: 10 }.map(&p);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the mappers: validity on arbitrary problems and the
+//! quality ordering guarantees that hold by construction.
+
+use nw_dsoc::{Application, MethodDef, ObjectDef};
+use nw_mapping::{
+    CostModel, GreedyLoadMapper, Mapper, MappingProblem, PeSlot, RandomMapper, RoundRobinMapper,
+    SimulatedAnnealingMapper,
+};
+use nw_types::NodeId;
+use proptest::prelude::*;
+
+/// Builds a random chain-with-branches application plus a ring-ish hop
+/// matrix problem.
+fn arb_problem() -> impl Strategy<Value = MappingProblem> {
+    (
+        2usize..10,                                      // objects
+        2usize..6,                                       // PEs
+        prop::collection::vec(10u64..300, 2..10),        // compute weights
+        0.0005f64..0.01,                                 // entry rate
+    )
+        .prop_map(|(n_obj, n_pes, weights, rate)| {
+            let n_obj = n_obj.min(weights.len());
+            let mut b = Application::builder("arb");
+            let ids: Vec<_> = (0..n_obj)
+                .map(|i| {
+                    b.add_object(ObjectDef::new(&format!("o{i}")).with_method(
+                        MethodDef::oneway("m", 16 + (i as u64 % 48)).with_compute(weights[i]),
+                    ))
+                })
+                .collect();
+            for w in ids.windows(2) {
+                b.connect(w[0], 0, w[1], 0, 1.0);
+            }
+            b.entry(ids[0], 0);
+            let app = b.build().expect("chain is a valid DAG");
+            let hops: Vec<Vec<f64>> = (0..n_pes)
+                .map(|a| {
+                    (0..n_pes)
+                        .map(|c| {
+                            let d = (a as i64 - c as i64).unsigned_abs() as f64;
+                            d.min(n_pes as f64 - d)
+                        })
+                        .collect()
+                })
+                .collect();
+            MappingProblem::new(
+                app,
+                vec![rate],
+                (0..n_pes).map(|i| PeSlot::new(NodeId(i), 1.0)).collect(),
+                hops,
+            )
+            .expect("constructed problem is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every mapper returns a valid placement whose self-reported cost
+    /// matches an independent evaluation.
+    #[test]
+    fn placements_valid_and_costs_consistent(problem in arb_problem(), seed in any::<u64>()) {
+        let mappers: Vec<Box<dyn Mapper>> = vec![
+            Box::new(RandomMapper { seed }),
+            Box::new(RoundRobinMapper),
+            Box::new(GreedyLoadMapper),
+            Box::new(SimulatedAnnealingMapper { iterations: 2_000, seed, ..Default::default() }),
+        ];
+        for m in &mappers {
+            let r = m.map(&problem);
+            prop_assert_eq!(r.placement.len(), problem.n_objects(), "{}", m.name());
+            prop_assert!(r.placement.iter().all(|&p| p < problem.n_pes()), "{}", m.name());
+            let check = CostModel::default().evaluate(&problem, &r.placement);
+            prop_assert!((check.total - r.cost.total).abs() < 1e-12, "{}", m.name());
+            prop_assert!(r.cost.total.is_finite());
+            prop_assert!(r.cost.bottleneck_load >= 0.0);
+            prop_assert!(r.cost.comm_byte_hops >= 0.0);
+        }
+    }
+
+    /// SA seeds from greedy and keeps the best state, so it can never
+    /// report a worse cost than greedy.
+    #[test]
+    fn sa_never_worse_than_greedy(problem in arb_problem(), seed in any::<u64>()) {
+        let greedy = GreedyLoadMapper.map(&problem);
+        let sa = SimulatedAnnealingMapper { iterations: 3_000, seed, ..Default::default() }
+            .map(&problem);
+        prop_assert!(sa.cost.total <= greedy.cost.total + 1e-12);
+    }
+
+    /// The bottleneck term is a true lower bound: no placement can beat
+    /// the heaviest single object on the fastest PE.
+    #[test]
+    fn bottleneck_lower_bound(problem in arb_problem(), seed in any::<u64>()) {
+        let heaviest = problem
+            .object_loads()
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        let best_capacity = problem
+            .pes()
+            .iter()
+            .map(|p| p.capacity)
+            .fold(f64::MIN, f64::max);
+        let bound = heaviest / best_capacity;
+        let sa = SimulatedAnnealingMapper { iterations: 2_000, seed, ..Default::default() }
+            .map(&problem);
+        prop_assert!(sa.cost.bottleneck_load >= bound - 1e-12);
+    }
+}

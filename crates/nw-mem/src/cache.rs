@@ -1,0 +1,309 @@
+//! A set-associative cache model.
+//!
+//! The paper's §3 names "embedded memory architecture tradeoffs" a main
+//! design issue; caches are the other half of that tradeoff space next to
+//! the scratchpads the PEs use by default. This model is behavioural
+//! (hit/miss accounting with LRU replacement over real address streams) —
+//! enough to study miss rates and the energy split between a small fast
+//! array and its larger backing store.
+
+use crate::model::MemorySpec;
+use nw_types::{Cycles, Picojoules};
+
+/// Configuration of a cache.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity (1 = direct-mapped).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// A 16 KiB, 32-byte-line, 4-way cache (a typical 0.13 µm L1).
+    pub fn l1_16k() -> Self {
+        CacheConfig {
+            capacity_bytes: 16 * 1024,
+            line_bytes: 32,
+            ways: 4,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.capacity_bytes / (self.line_bytes * self.ways as u64)
+    }
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Served from the cache.
+    Hit,
+    /// Line fetched from the backing store (possibly evicting).
+    Miss {
+        /// Whether a dirty line was written back.
+        writeback: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp: larger = more recent.
+    lru: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache with LRU
+/// replacement, fronting a [`MemorySpec`]-characterized backing store.
+///
+/// # Examples
+///
+/// ```
+/// use nw_mem::{Cache, CacheConfig, MemorySpec, MemoryTechnology};
+///
+/// let backing = MemorySpec::of(MemoryTechnology::Edram);
+/// let mut c = Cache::new(CacheConfig::l1_16k(), backing);
+/// c.access(0x1000, false); // cold miss
+/// c.access(0x1000, false); // hit
+/// assert_eq!(c.hits(), 1);
+/// assert_eq!(c.misses(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    backing: MemorySpec,
+    lines: Vec<Line>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+    energy: Picojoules,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero lines, non-power-of-
+    /// two line size, or capacity not divisible into sets).
+    pub fn new(cfg: CacheConfig, backing: MemorySpec) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.ways >= 1, "need at least one way");
+        assert!(
+            cfg.capacity_bytes % (cfg.line_bytes * cfg.ways as u64) == 0,
+            "capacity must divide into sets"
+        );
+        let sets = cfg.sets();
+        assert!(sets >= 1, "cache needs at least one set");
+        Cache {
+            cfg,
+            backing,
+            lines: vec![
+                Line { tag: 0, valid: false, dirty: false, lru: 0 };
+                (sets as usize) * cfg.ways
+            ],
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+            energy: Picojoules::ZERO,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.cfg.line_bytes) % self.cfg.sets()) as usize
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / self.cfg.line_bytes / self.cfg.sets()
+    }
+
+    /// Performs one access; returns hit/miss and updates statistics.
+    pub fn access(&mut self, addr: u64, write: bool) -> Access {
+        self.stamp += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.cfg.ways;
+        let ways = &mut self.lines[base..base + self.cfg.ways];
+
+        // Array access energy: ~SRAM read of one line's worth of bits.
+        self.energy += Picojoules(0.3) * self.cfg.line_bytes as f64 * 0.25;
+
+        if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.lru = self.stamp;
+            if write {
+                l.dirty = true;
+            }
+            self.hits += 1;
+            return Access::Hit;
+        }
+
+        // Miss: fetch the line, evicting LRU.
+        self.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("ways >= 1");
+        let writeback = victim.valid && victim.dirty;
+        if writeback {
+            self.writebacks += 1;
+            self.energy += self.backing.access_energy(true, self.cfg.line_bytes);
+        }
+        self.energy += self.backing.access_energy(false, self.cfg.line_bytes);
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.stamp,
+        };
+        Access::Miss { writeback }
+    }
+
+    /// Service time of an access given its outcome: hit = 1 cycle; miss =
+    /// backing-store line fetch (+ writeback if needed).
+    pub fn service_time(&self, outcome: Access) -> Cycles {
+        match outcome {
+            Access::Hit => Cycles(1),
+            Access::Miss { writeback } => {
+                let fetch = self.backing.service_time(false, self.cfg.line_bytes);
+                if writeback {
+                    fetch + self.backing.service_time(true, self.cfg.line_bytes)
+                } else {
+                    fetch
+                }
+            }
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty-line writebacks so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Hit rate in [0, 1]; 0 before any access.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total energy including backing-store traffic.
+    pub fn energy(&self) -> Picojoules {
+        self.energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MemoryTechnology;
+
+    fn cache() -> Cache {
+        Cache::new(CacheConfig::l1_16k(), MemorySpec::of(MemoryTechnology::Edram))
+    }
+
+    #[test]
+    fn cold_then_hot() {
+        let mut c = cache();
+        assert_eq!(c.access(0x100, false), Access::Miss { writeback: false });
+        assert_eq!(c.access(0x100, false), Access::Hit);
+        assert_eq!(c.access(0x104, false), Access::Hit, "same line");
+        assert_eq!(c.access(0x100 + 32, false), Access::Miss { writeback: false }, "next line");
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest() {
+        // 4-way set: fill 4 tags, touch the first, insert a 5th — the
+        // second (now LRU) must be evicted.
+        let mut c = cache();
+        let sets = c.config().sets();
+        let line = c.config().line_bytes;
+        let stride = sets * line; // same set, different tag
+        for k in 0..4u64 {
+            c.access(k * stride, false);
+        }
+        c.access(0, false); // refresh tag 0
+        c.access(4 * stride, false); // evicts tag 1
+        assert_eq!(c.access(0, false), Access::Hit);
+        assert_eq!(c.access(stride, false), Access::Miss { writeback: false });
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = cache();
+        let stride = c.config().sets() * c.config().line_bytes;
+        c.access(0, true); // dirty line
+        for k in 1..=4u64 {
+            c.access(k * stride, false); // force eviction of tag 0
+        }
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn sequential_scan_hit_rate_matches_line_size() {
+        // Byte-sequential scan: 1 miss per 32-byte line.
+        let mut c = cache();
+        for addr in 0..4096u64 {
+            c.access(addr, false);
+        }
+        let expect = 1.0 - 1.0 / 32.0;
+        assert!((c.hit_rate() - expect).abs() < 0.01, "{}", c.hit_rate());
+    }
+
+    #[test]
+    fn miss_costs_more_time_and_energy_than_hit() {
+        let mut c = cache();
+        let miss = c.access(0, false);
+        let hit = c.access(0, false);
+        assert!(c.service_time(miss) > c.service_time(hit));
+        let e1 = c.energy();
+        c.access(0, false);
+        let hit_energy = c.energy() - e1;
+        assert!(hit_energy.0 < c.backing.access_energy(false, 32).0);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let cfg = CacheConfig { capacity_bytes: 1024, line_bytes: 32, ways: 1 };
+        let mut c = Cache::new(cfg, MemorySpec::of(MemoryTechnology::Edram));
+        let stride = cfg.sets() * cfg.line_bytes;
+        // Two addresses mapping to the same set thrash a direct-mapped cache.
+        for _ in 0..10 {
+            c.access(0, false);
+            c.access(stride, false);
+        }
+        assert_eq!(c.hits(), 0, "ping-pong conflict misses");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let cfg = CacheConfig { capacity_bytes: 1024, line_bytes: 33, ways: 1 };
+        let _ = Cache::new(cfg, MemorySpec::of(MemoryTechnology::Sram));
+    }
+}

@@ -1,0 +1,622 @@
+//! The cycle-stepped NoC engine.
+//!
+//! Timing model: packet-granular virtual cut-through. Each router holds a
+//! bounded pool of packet buffers; a packet crossing a link occupies the
+//! link for `ceil(flits / width)` cycles (serialization) plus the link's
+//! wire latency and a fixed per-hop router pipeline delay. Transfers start
+//! only when the downstream router has a free buffer (credit flow control),
+//! so congestion back-pressures all the way to the network interfaces.
+//! Injection additionally requires *two* free slots at the local router
+//! (bubble flow control), which keeps rings and tori deadlock-free.
+//!
+//! Shared-medium routers (the bus arbiter) serialize all their ports through
+//! a single round-robin grant — this is what makes [`TopologyKind::SharedBus`]
+//! saturate at one transfer at a time while the crossbar core switches all
+//! ports in parallel.
+//!
+//! [`TopologyKind::SharedBus`]: crate::topology::TopologyKind::SharedBus
+
+use crate::packet::{Packet, PacketId};
+use crate::topology::Topology;
+use nw_sim::{Clocked, Counter, EventQueue, Histogram};
+use nw_types::{Cycles, NodeId};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Tuning knobs of the NoC timing model.
+#[derive(Debug, Clone, Copy)]
+pub struct NocConfig {
+    /// Link width in bytes per flit (default 8: 64-bit links).
+    pub flit_bytes: u64,
+    /// Packet buffers per router (default 8).
+    pub input_buffer: usize,
+    /// Network-interface injection queue depth per endpoint (default 64).
+    pub ni_capacity: usize,
+    /// Router pipeline delay added per hop, in cycles (default 1).
+    pub router_delay: u64,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            flit_bytes: 8,
+            input_buffer: 8,
+            ni_capacity: 64,
+            router_delay: 1,
+        }
+    }
+}
+
+/// Why an injection attempt was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectError {
+    /// The endpoint's NI queue is full (back-pressure); retry later.
+    NiFull,
+    /// The source endpoint index is out of range.
+    BadSource(NodeId),
+    /// The destination endpoint index is out of range.
+    BadDestination(NodeId),
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::NiFull => write!(f, "network interface queue full"),
+            InjectError::BadSource(n) => write!(f, "source endpoint {n} out of range"),
+            InjectError::BadDestination(n) => write!(f, "destination endpoint {n} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+#[derive(Debug)]
+struct OutPort {
+    to: usize,
+    latency: u64,
+    width: u64,
+    busy_until: u64,
+    queue: VecDeque<Packet>,
+}
+
+#[derive(Debug)]
+struct RouterState {
+    ports: Vec<OutPort>,
+    shared: bool,
+    shared_busy_until: u64,
+    rr_next: usize,
+    input_free: usize,
+    ni_in: VecDeque<Packet>,
+    eject: VecDeque<Packet>,
+}
+
+#[derive(Debug)]
+struct Arrival {
+    router: usize,
+    packet: Packet,
+}
+
+/// Aggregate NoC statistics.
+#[derive(Debug, Clone)]
+pub struct NocStats {
+    /// Packets accepted into NI queues.
+    pub injected: u64,
+    /// Packets delivered to their destination eject queue.
+    pub delivered: u64,
+    /// Injection attempts refused because the NI was full.
+    pub refused: u64,
+    /// Sum of flits × hops transported (link occupancy proxy).
+    pub flit_hops: u64,
+    /// End-to-end packet latency (NI entry to destination arrival).
+    pub latency: Histogram,
+}
+
+/// A simulated network-on-chip: topology + routers + in-flight transfers.
+///
+/// # Examples
+///
+/// ```
+/// use nw_noc::{Noc, NocConfig, Topology, TopologyKind};
+/// use nw_sim::Clocked;
+/// use nw_types::{Cycles, NodeId};
+///
+/// let topo = Topology::build(TopologyKind::Mesh, 16, 1)?;
+/// let mut noc = Noc::new(topo, NocConfig::default());
+/// noc.try_inject(NodeId(0), NodeId(15), vec![1, 2, 3], 42, Cycles(0)).unwrap();
+/// let mut now = Cycles(0);
+/// let pkt = loop {
+///     noc.tick(now);
+///     if let Some(p) = noc.eject(NodeId(15)) { break p; }
+///     now += Cycles(1);
+///     assert!(now.0 < 1000, "packet should arrive quickly");
+/// };
+/// assert_eq!(pkt.data, vec![1, 2, 3]);
+/// assert_eq!(pkt.tag, 42);
+/// # Ok::<(), nw_noc::topology::BuildTopologyError>(())
+/// ```
+#[derive(Debug)]
+pub struct Noc {
+    topo: Topology,
+    cfg: NocConfig,
+    routers: Vec<RouterState>,
+    arrivals: EventQueue<Arrival>,
+    next_id: u64,
+    injected: Counter,
+    delivered: Counter,
+    refused: Counter,
+    flit_hops: Counter,
+    latency: Histogram,
+}
+
+impl Noc {
+    /// Builds the engine for a topology.
+    ///
+    /// Buffer pools are provisioned per *input port*: a router's credit pool
+    /// is `input_buffer x in-degree`, so high-radix switches (the crossbar
+    /// core) are not starved relative to low-radix mesh routers.
+    pub fn new(topo: Topology, cfg: NocConfig) -> Self {
+        let mut in_degree = vec![0usize; topo.n_routers()];
+        for r in 0..topo.n_routers() {
+            for l in topo.links_of(r) {
+                in_degree[l.to] += 1;
+            }
+        }
+        let routers = (0..topo.n_routers())
+            .map(|r| RouterState {
+                ports: topo
+                    .links_of(r)
+                    .iter()
+                    .map(|l| OutPort {
+                        to: l.to,
+                        latency: l.latency,
+                        width: l.width,
+                        busy_until: 0,
+                        queue: VecDeque::new(),
+                    })
+                    .collect(),
+                shared: topo.is_shared(r),
+                shared_busy_until: 0,
+                rr_next: 0,
+                input_free: cfg.input_buffer * in_degree[r].max(1),
+                ni_in: VecDeque::new(),
+                eject: VecDeque::new(),
+            })
+            .collect();
+        Noc {
+            topo,
+            cfg,
+            routers,
+            arrivals: EventQueue::new(),
+            next_id: 0,
+            injected: Counter::new(),
+            delivered: Counter::new(),
+            refused: Counter::new(),
+            flit_hops: Counter::new(),
+            latency: Histogram::new(),
+        }
+    }
+
+    /// The topology this engine runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Offers a packet for injection at endpoint `src`.
+    ///
+    /// On success the packet is queued at the source network interface and
+    /// its latency clock starts at `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError::NiFull`] when the NI queue is at capacity (the caller
+    /// should stall and retry — this is the back-pressure interface);
+    /// [`InjectError::BadSource`] / [`InjectError::BadDestination`] for
+    /// out-of-range endpoints.
+    pub fn try_inject(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        data: Vec<u8>,
+        tag: u64,
+        now: Cycles,
+    ) -> Result<PacketId, InjectError> {
+        let n = self.topo.n_endpoints();
+        if src.0 >= n {
+            return Err(InjectError::BadSource(src));
+        }
+        if dst.0 >= n {
+            return Err(InjectError::BadDestination(dst));
+        }
+        if self.routers[src.0].ni_in.len() >= self.cfg.ni_capacity {
+            self.refused.incr();
+            return Err(InjectError::NiFull);
+        }
+        let id = PacketId(self.next_id);
+        self.next_id += 1;
+        self.routers[src.0].ni_in.push_back(Packet {
+            id,
+            src,
+            dst,
+            data,
+            tag,
+            injected_at: now,
+        });
+        self.injected.incr();
+        Ok(id)
+    }
+
+    /// Free slots in the NI queue of endpoint `node` (0 when out of range).
+    pub fn ni_free(&self, node: NodeId) -> usize {
+        if node.0 >= self.topo.n_endpoints() {
+            return 0;
+        }
+        self.cfg.ni_capacity - self.routers[node.0].ni_in.len()
+    }
+
+    /// Takes the next delivered packet at endpoint `node`, if any.
+    pub fn eject(&mut self, node: NodeId) -> Option<Packet> {
+        self.routers.get_mut(node.0)?.eject.pop_front()
+    }
+
+    /// Packets accepted but not yet delivered to an eject queue.
+    pub fn in_network(&self) -> u64 {
+        self.injected.count() - self.delivered.count()
+    }
+
+    /// Snapshot of the aggregate statistics.
+    pub fn stats(&self) -> NocStats {
+        NocStats {
+            injected: self.injected.count(),
+            delivered: self.delivered.count(),
+            refused: self.refused.count(),
+            flit_hops: self.flit_hops.count(),
+            latency: self.latency.clone(),
+        }
+    }
+
+    /// True when nothing is queued or in flight anywhere.
+    pub fn is_quiescent(&self) -> bool {
+        self.arrivals.is_empty()
+            && self.routers.iter().all(|r| {
+                r.ni_in.is_empty() && r.eject.is_empty() && r.ports.iter().all(|p| p.queue.is_empty())
+            })
+    }
+
+    fn deliver(&mut self, router: usize, packet: Packet, now: Cycles) {
+        self.delivered.incr();
+        self.latency.record(now.saturating_sub(packet.injected_at));
+        self.routers[router].eject.push_back(packet);
+    }
+
+    fn drain_arrivals(&mut self, now: Cycles) {
+        while let Some(Arrival { router, packet }) = self.arrivals.pop_due(now) {
+            if packet.dst.0 == router {
+                // Destination reached: free the buffer slot and eject.
+                self.routers[router].input_free += 1;
+                self.deliver(router, packet, now);
+            } else {
+                let port = self
+                    .topo
+                    .next_hop(router, packet.dst.0)
+                    .expect("non-destination router must have a next hop");
+                // The packet keeps its reserved buffer slot while queued.
+                self.routers[router].ports[port].queue.push_back(packet);
+            }
+        }
+    }
+
+    fn drain_ni(&mut self, now: Cycles) {
+        for r in 0..self.topo.n_endpoints() {
+            loop {
+                let Some(front_dst) = self.routers[r].ni_in.front().map(|p| p.dst) else {
+                    break;
+                };
+                if front_dst.0 == r {
+                    // Local delivery bypasses the fabric entirely.
+                    let p = self.routers[r].ni_in.pop_front().expect("checked front");
+                    self.deliver(r, p, now);
+                    continue;
+                }
+                // Bubble rule: entering traffic must leave one slot free.
+                if self.routers[r].input_free < 2 {
+                    break;
+                }
+                let p = self.routers[r].ni_in.pop_front().expect("checked front");
+                let port = self
+                    .topo
+                    .next_hop(r, p.dst.0)
+                    .expect("remote destination must have a next hop");
+                self.routers[r].input_free -= 1;
+                self.routers[r].ports[port].queue.push_back(p);
+            }
+        }
+    }
+
+    /// Starts the transfer of the head packet of `routers[r].ports[p]`,
+    /// assuming the caller verified readiness and downstream credit.
+    fn fire(&mut self, r: usize, p: usize, now: Cycles) {
+        let (packet, to, ser, wire_lat) = {
+            let port = &mut self.routers[r].ports[p];
+            let packet = port.queue.pop_front().expect("caller checked non-empty");
+            let flits = packet.flits(self.cfg.flit_bytes);
+            let ser = flits.div_ceil(port.width).max(1);
+            port.busy_until = now.0 + ser;
+            self.flit_hops.add(flits);
+            (packet, port.to, ser, port.latency)
+        };
+        // Cut-through: the slot at r frees as transmission starts, the slot
+        // downstream was reserved by the caller.
+        self.routers[r].input_free += 1;
+        let arrive = Cycles(now.0 + ser + wire_lat + self.cfg.router_delay);
+        self.arrivals.schedule(
+            arrive,
+            Arrival {
+                router: to,
+                packet,
+            },
+        );
+    }
+
+    fn transmit(&mut self, now: Cycles) {
+        for r in 0..self.routers.len() {
+            if self.routers[r].shared {
+                // Bus arbiter: one transfer at a time, round-robin grant.
+                if self.routers[r].shared_busy_until > now.0 {
+                    continue;
+                }
+                let nports = self.routers[r].ports.len();
+                let start = self.routers[r].rr_next;
+                for k in 0..nports {
+                    let p = (start + k) % nports;
+                    let ready = {
+                        let port = &self.routers[r].ports[p];
+                        !port.queue.is_empty() && self.routers[port.to].input_free > 0
+                    };
+                    if ready {
+                        let to = self.routers[r].ports[p].to;
+                        self.routers[to].input_free -= 1;
+                        self.fire(r, p, now);
+                        self.routers[r].shared_busy_until = self.routers[r].ports[p].busy_until;
+                        self.routers[r].rr_next = (p + 1) % nports;
+                        break;
+                    }
+                }
+            } else {
+                for p in 0..self.routers[r].ports.len() {
+                    let ready = {
+                        let port = &self.routers[r].ports[p];
+                        port.busy_until <= now.0
+                            && !port.queue.is_empty()
+                            && self.routers[port.to].input_free > 0
+                    };
+                    if ready {
+                        let to = self.routers[r].ports[p].to;
+                        self.routers[to].input_free -= 1;
+                        self.fire(r, p, now);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Clocked for Noc {
+    fn tick(&mut self, now: Cycles) {
+        self.drain_arrivals(now);
+        self.drain_ni(now);
+        self.transmit(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyKind;
+
+    fn run_until_delivered(noc: &mut Noc, dst: NodeId, limit: u64) -> (Packet, Cycles) {
+        let mut now = Cycles(0);
+        loop {
+            noc.tick(now);
+            if let Some(p) = noc.eject(dst) {
+                return (p, now);
+            }
+            now += Cycles(1);
+            assert!(now.0 < limit, "packet not delivered within {limit} cycles");
+        }
+    }
+
+    #[test]
+    fn single_packet_crosses_mesh() {
+        let topo = Topology::build(TopologyKind::Mesh, 16, 1).unwrap();
+        let mut noc = Noc::new(topo, NocConfig::default());
+        noc.try_inject(NodeId(0), NodeId(15), vec![9; 24], 7, Cycles(0))
+            .unwrap();
+        let (p, _) = run_until_delivered(&mut noc, NodeId(15), 1000);
+        assert_eq!(p.src, NodeId(0));
+        assert_eq!(p.tag, 7);
+        assert_eq!(p.data, vec![9; 24]);
+        let s = noc.stats();
+        assert_eq!(s.injected, 1);
+        assert_eq!(s.delivered, 1);
+        assert!(s.latency.mean() > 0.0);
+    }
+
+    #[test]
+    fn local_delivery_is_fast() {
+        let topo = Topology::build(TopologyKind::Ring, 4, 1).unwrap();
+        let mut noc = Noc::new(topo, NocConfig::default());
+        noc.try_inject(NodeId(2), NodeId(2), vec![1], 0, Cycles(0)).unwrap();
+        let (p, when) = run_until_delivered(&mut noc, NodeId(2), 10);
+        assert_eq!(p.dst, NodeId(2));
+        assert!(when.0 <= 1);
+    }
+
+    #[test]
+    fn latency_grows_with_hops() {
+        // On a large ring, a far destination takes longer than a neighbor.
+        let mk = || {
+            let topo = Topology::build(TopologyKind::Ring, 16, 1).unwrap();
+            Noc::new(topo, NocConfig::default())
+        };
+        let mut near = mk();
+        near.try_inject(NodeId(0), NodeId(1), vec![0; 8], 0, Cycles(0)).unwrap();
+        let (_, t_near) = run_until_delivered(&mut near, NodeId(1), 1000);
+        let mut far = mk();
+        far.try_inject(NodeId(0), NodeId(8), vec![0; 8], 0, Cycles(0)).unwrap();
+        let (_, t_far) = run_until_delivered(&mut far, NodeId(8), 1000);
+        assert!(t_far > t_near, "far {t_far} should exceed near {t_near}");
+    }
+
+    #[test]
+    fn bus_serializes_but_crossbar_switches_in_parallel() {
+        // Four disjoint src->dst pairs, all crossing the center.
+        let drive = |kind: TopologyKind| -> Cycles {
+            let topo = Topology::build(kind, 8, 1).unwrap();
+            let mut noc = Noc::new(topo, NocConfig::default());
+            for i in 0..4 {
+                noc.try_inject(NodeId(i), NodeId(i + 4), vec![0; 56], 0, Cycles(0))
+                    .unwrap();
+            }
+            let mut now = Cycles(0);
+            let mut got = 0;
+            while got < 4 {
+                noc.tick(now);
+                for i in 4..8 {
+                    if noc.eject(NodeId(i)).is_some() {
+                        got += 1;
+                    }
+                }
+                now += Cycles(1);
+                assert!(now.0 < 10_000);
+            }
+            now
+        };
+        let t_bus = drive(TopologyKind::SharedBus);
+        let t_xbar = drive(TopologyKind::Crossbar);
+        assert!(
+            t_bus.0 > t_xbar.0 + 10,
+            "bus {t_bus} should be much slower than crossbar {t_xbar}"
+        );
+    }
+
+    #[test]
+    fn ni_backpressure_refuses_when_full() {
+        let topo = Topology::build(TopologyKind::Ring, 4, 1).unwrap();
+        let cfg = NocConfig {
+            ni_capacity: 2,
+            ..NocConfig::default()
+        };
+        let mut noc = Noc::new(topo, cfg);
+        assert!(noc.try_inject(NodeId(0), NodeId(2), vec![], 0, Cycles(0)).is_ok());
+        assert!(noc.try_inject(NodeId(0), NodeId(2), vec![], 1, Cycles(0)).is_ok());
+        assert_eq!(
+            noc.try_inject(NodeId(0), NodeId(2), vec![], 2, Cycles(0)),
+            Err(InjectError::NiFull)
+        );
+        assert_eq!(noc.stats().refused, 1);
+        assert_eq!(noc.ni_free(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn bad_endpoints_are_rejected() {
+        let topo = Topology::build(TopologyKind::Ring, 4, 1).unwrap();
+        let mut noc = Noc::new(topo, NocConfig::default());
+        assert_eq!(
+            noc.try_inject(NodeId(9), NodeId(0), vec![], 0, Cycles(0)),
+            Err(InjectError::BadSource(NodeId(9)))
+        );
+        assert_eq!(
+            noc.try_inject(NodeId(0), NodeId(9), vec![], 0, Cycles(0)),
+            Err(InjectError::BadDestination(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn conservation_every_packet_delivered_exactly_once() {
+        let topo = Topology::build(TopologyKind::Mesh, 16, 1).unwrap();
+        let mut noc = Noc::new(topo, NocConfig::default());
+        let mut now = Cycles(0);
+        let mut sent = 0u64;
+        let mut got = 0u64;
+        // Staggered all-to-one plus neighbor traffic for 200 cycles.
+        while now.0 < 200 {
+            let src = (now.0 % 16) as usize;
+            let dst = ((now.0 * 7 + 3) % 16) as usize;
+            if noc
+                .try_inject(NodeId(src), NodeId(dst), vec![0; 16], now.0, now)
+                .is_ok()
+            {
+                sent += 1;
+            }
+            noc.tick(now);
+            for e in 0..16 {
+                while noc.eject(NodeId(e)).is_some() {
+                    got += 1;
+                }
+            }
+            now += Cycles(1);
+        }
+        // Drain.
+        while !noc.is_quiescent() {
+            noc.tick(now);
+            for e in 0..16 {
+                while noc.eject(NodeId(e)).is_some() {
+                    got += 1;
+                }
+            }
+            now += Cycles(1);
+            assert!(now.0 < 100_000, "network failed to drain");
+        }
+        assert_eq!(sent, got);
+        assert_eq!(noc.stats().delivered, sent);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let topo = Topology::build(TopologyKind::Torus, 16, 2).unwrap();
+            let mut noc = Noc::new(topo, NocConfig::default());
+            let mut now = Cycles(0);
+            while now.0 < 500 {
+                let src = ((now.0 * 5) % 16) as usize;
+                let dst = ((now.0 * 11 + 1) % 16) as usize;
+                let _ = noc.try_inject(NodeId(src), NodeId(dst), vec![0; 32], now.0, now);
+                noc.tick(now);
+                for e in 0..16 {
+                    while noc.eject(NodeId(e)).is_some() {}
+                }
+                now += Cycles(1);
+            }
+            let s = noc.stats();
+            (s.injected, s.delivered, s.flit_hops, s.latency.mean().to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fat_tree_delivers_cross_traffic() {
+        let topo = Topology::build(TopologyKind::FatTree, 16, 1).unwrap();
+        let mut noc = Noc::new(topo, NocConfig::default());
+        for i in 0..8 {
+            noc.try_inject(NodeId(i), NodeId(15 - i), vec![0; 40], i as u64, Cycles(0))
+                .unwrap();
+        }
+        let mut now = Cycles(0);
+        let mut got = 0;
+        while got < 8 {
+            noc.tick(now);
+            for e in 0..16 {
+                while noc.eject(NodeId(e)).is_some() {
+                    got += 1;
+                }
+            }
+            now += Cycles(1);
+            assert!(now.0 < 10_000);
+        }
+    }
+}

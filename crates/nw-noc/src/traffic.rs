@@ -1,0 +1,178 @@
+//! Synthetic traffic patterns for open-loop topology characterization.
+//!
+//! These are the classical patterns used in interconnect evaluation; the
+//! paper's §6.1 asks exactly for this kind of characterization "for
+//! different application domains". Uniform random models well-spread
+//! multiprocessor traffic, hotspot models a shared memory controller or the
+//! bus-master bottleneck, neighbor models pipelined streaming, and bit
+//! complement is the worst case for meshes.
+
+use nw_types::NodeId;
+use rand::Rng;
+use std::fmt;
+
+/// Destination selection policy for synthetic traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficPattern {
+    /// Uniformly random destination (excluding self).
+    Uniform,
+    /// With probability `fraction`, send to `target`; otherwise uniform.
+    Hotspot {
+        /// The hotspot endpoint.
+        target: NodeId,
+        /// Fraction of packets aimed at the hotspot.
+        fraction: f64,
+    },
+    /// Fixed next-neighbor destination `(src + 1) mod n` (streaming pipelines).
+    Neighbor,
+    /// Bit-complement permutation: `dst = !src` within the address width.
+    BitComplement,
+    /// Transpose permutation on the most-square grid: `(x, y) -> (y, x)`.
+    Transpose,
+}
+
+impl TrafficPattern {
+    /// Picks the destination for a packet from `src` in an `n`-endpoint
+    /// network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (no possible non-self destination).
+    pub fn pick_dst<R: Rng>(&self, src: NodeId, n: usize, rng: &mut R) -> NodeId {
+        assert!(n >= 2, "traffic needs at least two endpoints");
+        match *self {
+            TrafficPattern::Uniform => uniform_excluding(src, n, rng),
+            TrafficPattern::Hotspot { target, fraction } => {
+                if rng.gen_bool(fraction.clamp(0.0, 1.0)) && target != src {
+                    target
+                } else {
+                    uniform_excluding(src, n, rng)
+                }
+            }
+            TrafficPattern::Neighbor => NodeId((src.0 + 1) % n),
+            TrafficPattern::BitComplement => {
+                let bits = usize::BITS - (n - 1).leading_zeros();
+                let mask = if bits == 0 { 0 } else { (1usize << bits) - 1 };
+                let d = (!src.0) & mask;
+                if d >= n || d == src.0 {
+                    uniform_excluding(src, n, rng)
+                } else {
+                    NodeId(d)
+                }
+            }
+            TrafficPattern::Transpose => {
+                let (w, h) = crate::topology::most_square(n);
+                let (x, y) = (src.0 % w, src.0 / w);
+                // Transpose is only a permutation on square grids; fall back
+                // to uniform for the remainder.
+                if x < h && y < w {
+                    let d = x * w + y;
+                    if d != src.0 && d < n {
+                        return NodeId(d);
+                    }
+                }
+                uniform_excluding(src, n, rng)
+            }
+        }
+    }
+}
+
+fn uniform_excluding<R: Rng>(src: NodeId, n: usize, rng: &mut R) -> NodeId {
+    let d = rng.gen_range(0..n - 1);
+    NodeId(if d >= src.0 { d + 1 } else { d })
+}
+
+impl fmt::Display for TrafficPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficPattern::Uniform => write!(f, "uniform"),
+            TrafficPattern::Hotspot { target, fraction } => {
+                write!(f, "hotspot({target},{:.0}%)", fraction * 100.0)
+            }
+            TrafficPattern::Neighbor => write!(f, "neighbor"),
+            TrafficPattern::BitComplement => write!(f, "bit-complement"),
+            TrafficPattern::Transpose => write!(f, "transpose"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_never_picks_self_and_covers_all() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = vec![false; 8];
+        for _ in 0..1000 {
+            let d = TrafficPattern::Uniform.pick_dst(NodeId(3), 8, &mut rng);
+            assert_ne!(d, NodeId(3));
+            seen[d.0] = true;
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 7);
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pat = TrafficPattern::Hotspot {
+            target: NodeId(0),
+            fraction: 0.5,
+        };
+        let mut hits = 0;
+        let trials = 10_000;
+        for _ in 0..trials {
+            if pat.pick_dst(NodeId(5), 16, &mut rng) == NodeId(0) {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / trials as f64;
+        // 50% targeted + ~3.3% of the uniform remainder.
+        assert!(frac > 0.45 && frac < 0.60, "hotspot fraction {frac}");
+    }
+
+    #[test]
+    fn neighbor_is_deterministic_ring() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(
+            TrafficPattern::Neighbor.pick_dst(NodeId(7), 8, &mut rng),
+            NodeId(0)
+        );
+        assert_eq!(
+            TrafficPattern::Neighbor.pick_dst(NodeId(2), 8, &mut rng),
+            NodeId(3)
+        );
+    }
+
+    #[test]
+    fn bit_complement_on_power_of_two() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(
+            TrafficPattern::BitComplement.pick_dst(NodeId(0), 16, &mut rng),
+            NodeId(15)
+        );
+        assert_eq!(
+            TrafficPattern::BitComplement.pick_dst(NodeId(5), 16, &mut rng),
+            NodeId(10)
+        );
+    }
+
+    #[test]
+    fn transpose_on_square_grid() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // 4x4 grid: node 1 = (1,0) -> (0,1) = node 4.
+        assert_eq!(
+            TrafficPattern::Transpose.pick_dst(NodeId(1), 16, &mut rng),
+            NodeId(4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two endpoints")]
+    fn single_endpoint_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        TrafficPattern::Uniform.pick_dst(NodeId(0), 1, &mut rng);
+    }
+}

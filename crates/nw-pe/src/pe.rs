@@ -1,0 +1,641 @@
+//! The hardware-multithreaded processing element.
+
+use crate::class::PeClass;
+use crate::program::{Op, Program};
+use nw_mem::{MemorySpec, MemoryTechnology};
+use nw_sim::{Clocked, Utilization};
+use nw_types::{Cycles, NodeId, Picojoules, ThreadId};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Hardware thread scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Run the current thread until it stalls, then swap to the next ready
+    /// context, paying the swap penalty (the paper's §6.2 machine with a
+    /// one-cycle swap).
+    #[default]
+    SwitchOnStall,
+    /// Barrel processor: rotate among ready contexts every cycle with no
+    /// swap penalty (F6 ablation).
+    RoundRobin,
+}
+
+/// Configuration of one processing element.
+#[derive(Debug, Clone)]
+pub struct PeConfig {
+    /// Processor class (Figure 1 continuum point).
+    pub class: PeClass,
+    /// Number of hardware thread contexts (register banks).
+    pub n_threads: usize,
+    /// Context-switch penalty in cycles (the paper's HW-MT machines swap in
+    /// one cycle; 0 models an ideal machine).
+    pub swap_penalty: u64,
+    /// Scheduling policy.
+    pub policy: SchedPolicy,
+    /// Local scratchpad technology (services `Op::LocalMem`).
+    pub scratchpad: MemorySpec,
+}
+
+impl PeConfig {
+    /// A PE of `class` with `n_threads` contexts, one-cycle swap,
+    /// switch-on-stall scheduling and an SRAM scratchpad.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads == 0`.
+    pub fn new(class: PeClass, n_threads: usize) -> Self {
+        assert!(n_threads > 0, "a PE needs at least one thread context");
+        PeConfig {
+            class,
+            n_threads,
+            swap_penalty: 1,
+            policy: SchedPolicy::SwitchOnStall,
+            scratchpad: MemorySpec::of(MemoryTechnology::Sram),
+        }
+    }
+
+    /// Sets the swap penalty.
+    pub fn with_swap_penalty(mut self, cycles: u64) -> Self {
+        self.swap_penalty = cycles;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// A request the PE raises to its owner for servicing over the platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeRequest {
+    /// Asynchronous message: complete the thread once the NI accepts it.
+    Send {
+        /// Destination endpoint.
+        dst: NodeId,
+        /// Wire payload size.
+        bytes: u64,
+        /// Marshalled payload.
+        data: Vec<u8>,
+        /// Opaque NoC tag passed through from the op.
+        tag: u64,
+    },
+    /// Synchronous round trip: complete the thread when the response
+    /// arrives.
+    Call {
+        /// Destination endpoint.
+        dst: NodeId,
+        /// Request payload size.
+        bytes: u64,
+        /// Expected response size.
+        reply_bytes: u64,
+        /// Marshalled payload.
+        data: Vec<u8>,
+    },
+}
+
+/// Error from [`Pe::spawn`] when no context is free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpawnError;
+
+impl fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no idle hardware thread context")
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+#[derive(Debug, Clone)]
+enum ThreadState {
+    /// No task assigned.
+    Idle,
+    /// Has a task and can execute.
+    Ready,
+    /// Mid compute burst.
+    Computing { remaining: u64 },
+    /// Stalled on the local scratchpad until the given cycle.
+    ScratchpadStall { until: u64 },
+    /// Stalled on a platform-serviced request (NoC send/call).
+    AwaitingCompletion,
+}
+
+#[derive(Debug)]
+struct Thread {
+    state: ThreadState,
+    program: Option<Program>,
+    pc: usize,
+    occupancy: Utilization,
+    busy: Utilization,
+}
+
+/// Aggregate statistics of one PE.
+#[derive(Debug, Clone)]
+pub struct PeStats {
+    /// Fraction of cycles the core issued (any context).
+    pub core_utilization: f64,
+    /// Per-thread fraction of cycles holding a task.
+    pub thread_occupancy: Vec<f64>,
+    /// Tasks run to completion.
+    pub tasks_completed: u64,
+    /// Total dynamic energy.
+    pub energy: Picojoules,
+    /// Context switches performed.
+    pub swaps: u64,
+}
+
+/// A hardware-multithreaded processing element.
+///
+/// See the [crate-level documentation](crate) for the execution model and
+/// an end-to-end example.
+#[derive(Debug)]
+pub struct Pe {
+    cfg: PeConfig,
+    threads: Vec<Thread>,
+    current: usize,
+    swap_remaining: u64,
+    swaps: u64,
+    requests: VecDeque<(ThreadId, PeRequest)>,
+    core: Utilization,
+    tasks_completed: u64,
+    energy: Picojoules,
+}
+
+impl Pe {
+    /// Builds a PE from its configuration.
+    pub fn new(cfg: PeConfig) -> Self {
+        let threads = (0..cfg.n_threads)
+            .map(|_| Thread {
+                state: ThreadState::Idle,
+                program: None,
+                pc: 0,
+                occupancy: Utilization::new(),
+                busy: Utilization::new(),
+            })
+            .collect();
+        Pe {
+            cfg,
+            threads,
+            current: 0,
+            swap_remaining: 0,
+            swaps: 0,
+            requests: VecDeque::new(),
+            core: Utilization::new(),
+            tasks_completed: 0,
+            energy: Picojoules::ZERO,
+        }
+    }
+
+    /// The configuration this PE was built with.
+    pub fn config(&self) -> &PeConfig {
+        &self.cfg
+    }
+
+    /// Number of hardware thread contexts.
+    pub fn n_threads(&self) -> usize {
+        self.cfg.n_threads
+    }
+
+    /// Whether thread `tid` currently has no task.
+    pub fn thread_is_idle(&self, tid: ThreadId) -> bool {
+        matches!(self.threads[tid.0].state, ThreadState::Idle)
+    }
+
+    /// Number of idle contexts ready to accept a task.
+    pub fn idle_threads(&self) -> usize {
+        self.threads
+            .iter()
+            .filter(|t| matches!(t.state, ThreadState::Idle))
+            .count()
+    }
+
+    /// Assigns a task to the lowest-numbered idle context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpawnError`] when every context is occupied — the caller
+    /// (the DSOC dispatcher) should queue the invocation and retry.
+    pub fn spawn(&mut self, program: Program) -> Result<ThreadId, SpawnError> {
+        let slot = self
+            .threads
+            .iter()
+            .position(|t| matches!(t.state, ThreadState::Idle))
+            .ok_or(SpawnError)?;
+        let t = &mut self.threads[slot];
+        t.state = if program.is_empty() {
+            // Degenerate empty task: completes immediately.
+            ThreadState::Idle
+        } else {
+            ThreadState::Ready
+        };
+        if program.is_empty() {
+            self.tasks_completed += 1;
+            return Ok(ThreadId(slot));
+        }
+        t.program = Some(program);
+        t.pc = 0;
+        Ok(ThreadId(slot))
+    }
+
+    /// Unblocks a thread stalled on a platform request (NI accepted the
+    /// send, or the call's response arrived).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread was not awaiting completion — that indicates a
+    /// platform-glue protocol bug worth failing loudly on.
+    pub fn complete(&mut self, tid: ThreadId) {
+        let t = &mut self.threads[tid.0];
+        assert!(
+            matches!(t.state, ThreadState::AwaitingCompletion),
+            "complete() on {tid} which is not awaiting completion"
+        );
+        t.state = ThreadState::Ready;
+    }
+
+    /// Drains the requests raised since the last call.
+    pub fn take_requests(&mut self) -> Vec<(ThreadId, PeRequest)> {
+        self.requests.drain(..).collect()
+    }
+
+    /// Tasks run to completion so far.
+    pub fn tasks_completed(&self) -> u64 {
+        self.tasks_completed
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> PeStats {
+        PeStats {
+            core_utilization: self.core.fraction(),
+            thread_occupancy: self.threads.iter().map(|t| t.occupancy.fraction()).collect(),
+            tasks_completed: self.tasks_completed,
+            energy: self.energy,
+            swaps: self.swaps,
+        }
+    }
+
+    fn thread_is_runnable(&self, i: usize, now: Cycles) -> bool {
+        match self.threads[i].state {
+            ThreadState::Ready | ThreadState::Computing { .. } => true,
+            ThreadState::ScratchpadStall { until } => until <= now.0,
+            _ => false,
+        }
+    }
+
+    /// Picks the next runnable context after `from` in round-robin order.
+    fn next_runnable(&self, from: usize, now: Cycles) -> Option<usize> {
+        let n = self.threads.len();
+        (1..=n).map(|k| (from + k) % n).find(|&i| self.thread_is_runnable(i, now))
+    }
+
+    /// Executes one issue slot of thread `i`. Returns true if work was done.
+    fn run_thread(&mut self, i: usize, now: Cycles) -> bool {
+        // Resolve a matured scratchpad stall into Ready.
+        if let ThreadState::ScratchpadStall { until } = self.threads[i].state {
+            if until <= now.0 {
+                self.threads[i].state = ThreadState::Ready;
+            } else {
+                return false;
+            }
+        }
+        match self.threads[i].state.clone() {
+            ThreadState::Computing { remaining } => {
+                if remaining <= 1 {
+                    self.threads[i].state = ThreadState::Ready;
+                    self.advance_pc(i);
+                } else {
+                    self.threads[i].state = ThreadState::Computing { remaining: remaining - 1 };
+                }
+                true
+            }
+            ThreadState::Ready => self.issue(i, now),
+            _ => false,
+        }
+    }
+
+    /// Issues the op at the thread's pc. Returns true if a cycle of work was
+    /// consumed.
+    fn issue(&mut self, i: usize, now: Cycles) -> bool {
+        let (op, domain) = {
+            let t = &self.threads[i];
+            let prog = t.program.as_ref().expect("ready thread has a program");
+            match prog.op(t.pc) {
+                Some(op) => (op.clone(), prog.domain()),
+                None => {
+                    // Program exhausted: retire the task.
+                    self.retire(i);
+                    return true;
+                }
+            }
+        };
+        match op {
+            Op::Compute(n) => {
+                let speedup = self.cfg.class.speedup(domain);
+                let eff = ((n as f64 / speedup).ceil() as u64).max(1);
+                if eff == 1 {
+                    self.threads[i].state = ThreadState::Ready;
+                    self.advance_pc(i);
+                } else {
+                    self.threads[i].state = ThreadState::Computing { remaining: eff - 1 };
+                }
+            }
+            Op::LocalMem { write, bytes } => {
+                let service = self.cfg.scratchpad.service_time(write, bytes);
+                self.energy += self.cfg.scratchpad.access_energy(write, bytes);
+                self.threads[i].state = ThreadState::ScratchpadStall { until: now.0 + service.0 };
+                self.advance_pc(i);
+            }
+            Op::Send { dst, bytes, data, tag } => {
+                self.requests
+                    .push_back((ThreadId(i), PeRequest::Send { dst, bytes, data, tag }));
+                self.threads[i].state = ThreadState::AwaitingCompletion;
+                self.advance_pc(i);
+            }
+            Op::Call { dst, bytes, reply_bytes, data } => {
+                self.requests.push_back((
+                    ThreadId(i),
+                    PeRequest::Call { dst, bytes, reply_bytes, data },
+                ));
+                self.threads[i].state = ThreadState::AwaitingCompletion;
+                self.advance_pc(i);
+            }
+        }
+        true
+    }
+
+    fn advance_pc(&mut self, i: usize) {
+        self.threads[i].pc += 1;
+        let done = {
+            let t = &self.threads[i];
+            t.program.as_ref().is_none_or(|p| t.pc >= p.len())
+                && matches!(t.state, ThreadState::Ready)
+        };
+        if done {
+            self.retire(i);
+        }
+    }
+
+    fn retire(&mut self, i: usize) {
+        self.threads[i].state = ThreadState::Idle;
+        self.threads[i].program = None;
+        self.threads[i].pc = 0;
+        self.tasks_completed += 1;
+    }
+}
+
+impl Clocked for Pe {
+    fn tick(&mut self, now: Cycles) {
+        // Occupancy accounting for every context.
+        for t in &mut self.threads {
+            if matches!(t.state, ThreadState::Idle) {
+                t.occupancy.idle();
+            } else {
+                t.occupancy.busy();
+            }
+        }
+
+        // Mid context switch: the core is stalled.
+        if self.swap_remaining > 0 {
+            self.swap_remaining -= 1;
+            self.core.idle();
+            for t in &mut self.threads {
+                t.busy.idle();
+            }
+            return;
+        }
+
+        // Choose which context issues this cycle.
+        let issuing = match self.cfg.policy {
+            SchedPolicy::SwitchOnStall => {
+                if self.thread_is_runnable(self.current, now) {
+                    Some(self.current)
+                } else if let Some(next) = self.next_runnable(self.current, now) {
+                    self.swaps += 1;
+                    self.current = next;
+                    if self.cfg.swap_penalty > 0 {
+                        // The swap consumes this cycle (and possibly more).
+                        self.swap_remaining = self.cfg.swap_penalty - 1;
+                        self.core.idle();
+                        for t in &mut self.threads {
+                            t.busy.idle();
+                        }
+                        return;
+                    }
+                    Some(next)
+                } else {
+                    None
+                }
+            }
+            SchedPolicy::RoundRobin => {
+                let next = if self.thread_is_runnable(self.current, now)
+                    || self.next_runnable(self.current, now).is_some()
+                {
+                    // Rotate every cycle among runnable contexts.
+                    self.next_runnable(self.current, now)
+                        .filter(|_| true)
+                        .or(Some(self.current))
+                } else {
+                    None
+                };
+                if let Some(n) = next {
+                    self.current = n;
+                }
+                next
+            }
+        };
+
+        let mut worked = false;
+        if let Some(i) = issuing {
+            worked = self.run_thread(i, now);
+        }
+        if worked {
+            self.core.busy();
+            self.energy += self.cfg.class.energy_per_cycle();
+        } else {
+            self.core.idle();
+        }
+        for (j, t) in self.threads.iter_mut().enumerate() {
+            if worked && issuing == Some(j) {
+                t.busy.busy();
+            } else {
+                t.busy.idle();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::KernelDomain;
+
+    fn run(pe: &mut Pe, cycles: u64) {
+        for c in 0..cycles {
+            pe.tick(Cycles(c));
+        }
+    }
+
+    #[test]
+    fn compute_task_takes_expected_cycles() {
+        let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 1));
+        pe.spawn(Program::straight_line([Op::Compute(10)])).unwrap();
+        run(&mut pe, 10);
+        // 10 compute cycles; retirement happens on the next issue slot.
+        assert!(pe.tasks_completed() <= 1);
+        run(&mut pe, 2);
+        assert_eq!(pe.tasks_completed(), 1);
+        assert!(pe.idle_threads() == 1);
+    }
+
+    #[test]
+    fn asip_speedup_shortens_matched_kernels() {
+        let domain = KernelDomain::PacketHeader;
+        let time_to_finish = |class: PeClass| {
+            let mut pe = Pe::new(PeConfig::new(class, 1));
+            pe.spawn(Program::new([Op::Compute(80)], domain)).unwrap();
+            let mut c = 0u64;
+            while pe.tasks_completed() == 0 {
+                pe.tick(Cycles(c));
+                c += 1;
+                assert!(c < 1000);
+            }
+            c
+        };
+        let risc = time_to_finish(PeClass::GpRisc);
+        let asip = time_to_finish(PeClass::Asip { domain });
+        assert!(asip * 4 < risc, "asip {asip} vs risc {risc}");
+    }
+
+    #[test]
+    fn call_blocks_until_completed() {
+        let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 1));
+        let tid = pe
+            .spawn(Program::straight_line([
+                Op::call(NodeId(5), 8, 8),
+                Op::Compute(1),
+            ]))
+            .unwrap();
+        run(&mut pe, 5);
+        let reqs = pe.take_requests();
+        assert_eq!(reqs.len(), 1);
+        assert!(matches!(reqs[0].1, PeRequest::Call { dst: NodeId(5), .. }));
+        // Blocked: no progress however long we wait.
+        run(&mut pe, 50);
+        assert_eq!(pe.tasks_completed(), 0);
+        pe.complete(tid);
+        run(&mut pe, 55);
+        assert_eq!(pe.tasks_completed(), 1);
+    }
+
+    #[test]
+    fn multithreading_hides_call_latency() {
+        // One thread stalls on a call; the second thread keeps the core busy.
+        let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 2).with_swap_penalty(1));
+        pe.spawn(Program::straight_line([Op::call(NodeId(1), 8, 8)]))
+            .unwrap();
+        pe.spawn(Program::straight_line([Op::Compute(100)])).unwrap();
+        run(&mut pe, 50);
+        let s = pe.stats();
+        assert!(
+            s.core_utilization > 0.9,
+            "core should stay busy: {}",
+            s.core_utilization
+        );
+        assert!(s.swaps >= 1);
+    }
+
+    #[test]
+    fn single_thread_starves_on_call() {
+        let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 1));
+        pe.spawn(Program::straight_line([Op::call(NodeId(1), 8, 8)]))
+            .unwrap();
+        run(&mut pe, 100);
+        let s = pe.stats();
+        assert!(
+            s.core_utilization < 0.1,
+            "blocked single-thread core must idle: {}",
+            s.core_utilization
+        );
+    }
+
+    #[test]
+    fn spawn_fails_when_full_and_recovers() {
+        let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 2));
+        pe.spawn(Program::straight_line([Op::Compute(5)])).unwrap();
+        pe.spawn(Program::straight_line([Op::Compute(5)])).unwrap();
+        assert_eq!(pe.spawn(Program::straight_line([Op::Compute(5)])), Err(SpawnError));
+        run(&mut pe, 30);
+        assert!(pe.idle_threads() > 0);
+        assert!(pe.spawn(Program::straight_line([Op::Compute(5)])).is_ok());
+    }
+
+    #[test]
+    fn scratchpad_stall_is_self_timed() {
+        let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 1));
+        pe.spawn(Program::straight_line([
+            Op::LocalMem { write: false, bytes: 64 },
+            Op::Compute(1),
+        ]))
+        .unwrap();
+        // SRAM 64B read = 10 cycles stall + issue cycles; finishes unaided.
+        run(&mut pe, 20);
+        assert_eq!(pe.tasks_completed(), 1);
+        assert!(pe.stats().energy.0 > 0.0);
+    }
+
+    #[test]
+    fn send_blocks_until_ni_accept() {
+        let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 1));
+        let tid = pe
+            .spawn(Program::straight_line([Op::send(NodeId(2), 40)]))
+            .unwrap();
+        run(&mut pe, 3);
+        let reqs = pe.take_requests();
+        assert!(matches!(reqs[0].1, PeRequest::Send { bytes: 40, .. }));
+        pe.complete(tid);
+        run(&mut pe, 6);
+        assert_eq!(pe.tasks_completed(), 1);
+    }
+
+    #[test]
+    fn round_robin_policy_interleaves_without_swap_cost() {
+        let mut pe = Pe::new(
+            PeConfig::new(PeClass::GpRisc, 4).with_policy(SchedPolicy::RoundRobin),
+        );
+        for _ in 0..4 {
+            pe.spawn(Program::straight_line([Op::Compute(25)])).unwrap();
+        }
+        run(&mut pe, 110);
+        let s = pe.stats();
+        assert_eq!(s.tasks_completed, 4);
+        assert_eq!(s.swaps, 0);
+        assert!(s.core_utilization > 0.9);
+    }
+
+    #[test]
+    fn empty_program_completes_immediately() {
+        let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 1));
+        pe.spawn(Program::straight_line([])).unwrap();
+        assert_eq!(pe.tasks_completed(), 1);
+        assert_eq!(pe.idle_threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not awaiting completion")]
+    fn completing_a_non_waiting_thread_panics() {
+        let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 1));
+        pe.complete(ThreadId(0));
+    }
+
+    #[test]
+    fn occupancy_tracks_assigned_tasks() {
+        let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 2));
+        pe.spawn(Program::straight_line([Op::Compute(50)])).unwrap();
+        run(&mut pe, 50);
+        let s = pe.stats();
+        assert!(s.thread_occupancy[0] > 0.9);
+        assert!(s.thread_occupancy[1] < 0.1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Deterministic time-ordered event queue.
+
+use nw_types::Cycles;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the queue: payload plus its due time and a tie-break sequence
+/// number so that events scheduled for the same cycle pop in insertion order.
+#[derive(Debug)]
+struct Entry<T> {
+    due: Cycles,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first order.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-queue of timed events.
+///
+/// Events scheduled for the same cycle are delivered in the order they were
+/// scheduled (FIFO within a cycle), which keeps whole-platform simulations
+/// reproducible regardless of heap internals.
+///
+/// # Examples
+///
+/// ```
+/// use nw_sim::EventQueue;
+/// use nw_types::Cycles;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycles(10), "late");
+/// q.schedule(Cycles(5), "early");
+/// q.schedule(Cycles(5), "early2");
+///
+/// assert_eq!(q.pop_due(Cycles(4)), None);
+/// assert_eq!(q.pop_due(Cycles(5)), Some("early"));
+/// assert_eq!(q.pop_due(Cycles(5)), Some("early2"));
+/// assert_eq!(q.pop_due(Cycles(5)), None);
+/// assert_eq!(q.pop_due(Cycles(10)), Some("late"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to become due at cycle `due`.
+    pub fn schedule(&mut self, due: Cycles, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { due, seq, payload });
+    }
+
+    /// Pops the next event whose due time is `<= now`, if any.
+    ///
+    /// Call repeatedly from a component's `tick` to drain everything that
+    /// matured this cycle.
+    pub fn pop_due(&mut self, now: Cycles) -> Option<T> {
+        if self.heap.peek().is_some_and(|e| e.due <= now) {
+            self.heap.pop().map(|e| e.payload)
+        } else {
+            None
+        }
+    }
+
+    /// The due time of the earliest pending event.
+    pub fn next_due(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.due)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(3), 'c');
+        q.schedule(Cycles(1), 'a');
+        q.schedule(Cycles(3), 'd');
+        q.schedule(Cycles(2), 'b');
+        let mut out = Vec::new();
+        while let Some(x) = q.pop_due(Cycles(100)) {
+            out.push(x);
+        }
+        assert_eq!(out, vec!['a', 'b', 'c', 'd']);
+    }
+
+    #[test]
+    fn respects_due_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(7), 1u32);
+        assert!(q.pop_due(Cycles(6)).is_none());
+        assert_eq!(q.next_due(), Some(Cycles(7)));
+        assert_eq!(q.pop_due(Cycles(7)), Some(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Cycles(1), ());
+        q.schedule(Cycles(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop_due(Cycles(5));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn same_cycle_many_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycles(1), i);
+        }
+        let mut last = -1i64;
+        while let Some(i) = q.pop_due(Cycles(1)) {
+            assert!(i as i64 > last);
+            last = i as i64;
+        }
+        assert_eq!(last, 99);
+    }
+}

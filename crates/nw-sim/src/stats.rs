@@ -1,0 +1,418 @@
+//! Measurement instruments for the experiment harness.
+//!
+//! Everything the paper reproduction reports — processor/thread utilization
+//! (claim C7's "near 100% utilization"), NoC latency distributions (C4, C5),
+//! packet throughput (C7) — is collected through these small, allocation-light
+//! collectors.
+
+use nw_types::Cycles;
+
+/// A monotonically increasing event counter with rate conversion.
+///
+/// # Examples
+///
+/// ```
+/// use nw_sim::Counter;
+/// use nw_types::Cycles;
+///
+/// let mut packets = Counter::new();
+/// packets.add(250);
+/// assert_eq!(packets.count(), 250);
+/// // 250 packets in 1000 cycles at 1 GHz = 250 Mpps.
+/// assert!((packets.rate_per_second(Cycles(1000), 1e9) - 250e6).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// The current count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Events per simulated second, given the elapsed cycles and clock rate.
+    /// Returns 0.0 when no time has elapsed.
+    pub fn rate_per_second(&self, elapsed: Cycles, clock_hz: f64) -> f64 {
+        if elapsed == Cycles::ZERO {
+            0.0
+        } else {
+            self.count as f64 / elapsed.to_seconds(clock_hz)
+        }
+    }
+
+    /// Events per cycle. Returns 0.0 when no time has elapsed.
+    pub fn rate_per_cycle(&self, elapsed: Cycles) -> f64 {
+        if elapsed == Cycles::ZERO {
+            0.0
+        } else {
+            self.count as f64 / elapsed.0 as f64
+        }
+    }
+}
+
+/// Busy/idle accounting for one resource (a thread context, a PE, a link).
+///
+/// Call [`Utilization::busy`] or [`Utilization::idle`] exactly once per
+/// cycle; the ratio of busy cycles to total observed cycles is the
+/// utilization the paper's claim C7 is stated in.
+///
+/// # Examples
+///
+/// ```
+/// use nw_sim::Utilization;
+///
+/// let mut u = Utilization::new();
+/// for i in 0..100 {
+///     if i % 4 == 0 { u.idle() } else { u.busy() }
+/// }
+/// assert!((u.fraction() - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Utilization {
+    busy: u64,
+    total: u64,
+}
+
+impl Utilization {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Utilization::default()
+    }
+
+    /// Records one busy cycle.
+    pub fn busy(&mut self) {
+        self.busy += 1;
+        self.total += 1;
+    }
+
+    /// Records one idle cycle.
+    pub fn idle(&mut self) {
+        self.total += 1;
+    }
+
+    /// Busy cycles observed so far.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy
+    }
+
+    /// Total cycles observed so far.
+    pub fn total_cycles(&self) -> u64 {
+        self.total
+    }
+
+    /// Busy fraction in `[0, 1]`; 0.0 before any observation.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another tracker into this one (for aggregating per-thread
+    /// utilization into per-PE or whole-platform figures).
+    pub fn merge(&mut self, other: &Utilization) {
+        self.busy += other.busy;
+        self.total += other.total;
+    }
+}
+
+/// A latency histogram with power-of-two buckets plus exact min/max/mean.
+///
+/// Bucketing keeps memory constant while the exact moments keep the summary
+/// statistics precise — quantiles are approximate (bucket upper bound).
+///
+/// # Examples
+///
+/// ```
+/// use nw_sim::Histogram;
+/// use nw_types::Cycles;
+///
+/// let mut h = Histogram::new();
+/// for v in [10, 20, 30, 40, 100] { h.record(Cycles(v)); }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.min(), Some(Cycles(10)));
+/// assert_eq!(h.max(), Some(Cycles(100)));
+/// assert!((h.mean() - 40.0).abs() < 1e-9);
+/// assert!(h.quantile(0.5) >= Cycles(20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// buckets[i] counts samples with value in [2^(i-1), 2^i), bucket 0 = {0}.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: Option<Cycles>,
+    max: Option<Cycles>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: Cycles) {
+        self.buckets[Self::bucket_of(v.0)] += 1;
+        self.count += 1;
+        self.sum += v.0 as u128;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> Option<Cycles> {
+        self.min
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<Cycles> {
+        self.max
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1): the upper bound of the bucket
+    /// containing the q-th sample. Returns zero cycles when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Cycles {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return Cycles::ZERO;
+        }
+        let target = ((self.count as f64 * q).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Cycles(if i == 0 { 0 } else { 1u64 << i });
+            }
+        }
+        self.max.unwrap_or(Cycles::ZERO)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Streaming mean and variance (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use nw_sim::OnlineMean;
+///
+/// let mut m = OnlineMean::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] { m.push(v); }
+/// assert!((m.mean() - 5.0).abs() < 1e-12);
+/// assert!((m.variance() - 4.571428).abs() < 1e-5); // sample variance
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineMean {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineMean::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; 0.0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rates() {
+        let mut c = Counter::new();
+        for _ in 0..10 {
+            c.incr();
+        }
+        assert_eq!(c.count(), 10);
+        assert!((c.rate_per_cycle(Cycles(100)) - 0.1).abs() < 1e-12);
+        assert_eq!(c.rate_per_cycle(Cycles::ZERO), 0.0);
+        assert_eq!(c.rate_per_second(Cycles::ZERO, 1e9), 0.0);
+    }
+
+    #[test]
+    fn utilization_bounds_and_merge() {
+        let mut a = Utilization::new();
+        assert_eq!(a.fraction(), 0.0);
+        a.busy();
+        a.busy();
+        a.idle();
+        let mut b = Utilization::new();
+        b.idle();
+        a.merge(&b);
+        assert_eq!(a.busy_cycles(), 2);
+        assert_eq!(a.total_cycles(), 4);
+        assert!((a.fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), Cycles::ZERO);
+        for v in 1..=100u64 {
+            h.record(Cycles(v));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), Some(Cycles(1)));
+        assert_eq!(h.max(), Some(Cycles(100)));
+        assert!((h.mean() - 50.5).abs() < 1e-12);
+        // The 50th sample of 1..=100 lies in bucket [32,64): upper bound 64.
+        assert_eq!(h.quantile(0.5), Cycles(64));
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(Cycles(5));
+        let mut b = Histogram::new();
+        b.record(Cycles(50));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(Cycles(5)));
+        assert_eq!(a.max(), Some(Cycles(50)));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_out_of_range_panics() {
+        Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn online_mean_matches_naive() {
+        let xs = [1.5, 2.5, 3.5, 10.0, -4.0];
+        let mut m = OnlineMean::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        let naive: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((m.mean() - naive).abs() < 1e-12);
+        assert_eq!(m.count(), 5);
+        assert!(m.std_dev() > 0.0);
+    }
+
+    #[test]
+    fn online_mean_variance_small_n() {
+        let mut m = OnlineMean::new();
+        assert_eq!(m.variance(), 0.0);
+        m.push(3.0);
+        assert_eq!(m.variance(), 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Value-change-dump (VCD) trace recording.
+//!
+//! The lingua franca of hardware debugging is the waveform. This module
+//! records boolean and vector signals as they change during a simulation
+//! and writes standard IEEE-1364 VCD, so platform activity (PE busy lines,
+//! queue depths, link occupancy) can be inspected in any waveform viewer.
+//!
+//! # Examples
+//!
+//! ```
+//! use nw_sim::trace::Tracer;
+//! use nw_types::Cycles;
+//!
+//! let mut t = Tracer::new("demo");
+//! let busy = t.add_wire("pe0_busy");
+//! let depth = t.add_vector("queue_depth", 8);
+//! t.change_wire(busy, Cycles(0), true);
+//! t.change_vector(depth, Cycles(0), 3);
+//! t.change_wire(busy, Cycles(10), false);
+//! let vcd = t.render(Cycles(20));
+//! assert!(vcd.contains("$var wire 1"));
+//! assert!(vcd.contains("#10"));
+//! ```
+
+use nw_types::Cycles;
+use std::fmt::Write as _;
+
+/// Handle to a registered signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalId(usize);
+
+#[derive(Debug)]
+struct Signal {
+    name: String,
+    width: u32,
+    /// (time, value) changes in record order.
+    changes: Vec<(u64, u64)>,
+}
+
+/// Records signal changes and renders IEEE-1364 VCD text.
+///
+/// Changes may be recorded out of order across signals; rendering sorts
+/// them into a single timeline. Re-recording the same value is
+/// deduplicated at render time (VCD viewers dislike zero-width glitches).
+#[derive(Debug)]
+pub struct Tracer {
+    module: String,
+    signals: Vec<Signal>,
+}
+
+impl Tracer {
+    /// Creates a tracer for a module scope name.
+    pub fn new(module: &str) -> Self {
+        Tracer {
+            module: module.to_owned(),
+            signals: Vec::new(),
+        }
+    }
+
+    /// Registers a 1-bit signal.
+    pub fn add_wire(&mut self, name: &str) -> SignalId {
+        self.add_vector(name, 1)
+    }
+
+    /// Registers a vector signal of `width` bits (1..=64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    pub fn add_vector(&mut self, name: &str, width: u32) -> SignalId {
+        assert!((1..=64).contains(&width), "width {width} out of 1..=64");
+        self.signals.push(Signal {
+            name: name.to_owned(),
+            width,
+            changes: Vec::new(),
+        });
+        SignalId(self.signals.len() - 1)
+    }
+
+    /// Records a boolean change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale (not from this tracer).
+    pub fn change_wire(&mut self, id: SignalId, at: Cycles, value: bool) {
+        self.change_vector(id, at, u64::from(value));
+    }
+
+    /// Records a vector change (value truncated to the signal's width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale (not from this tracer).
+    pub fn change_vector(&mut self, id: SignalId, at: Cycles, value: u64) {
+        let s = &mut self.signals[id.0];
+        let mask = if s.width == 64 { u64::MAX } else { (1u64 << s.width) - 1 };
+        s.changes.push((at.0, value & mask));
+    }
+
+    /// Number of registered signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// VCD identifier code for a signal index (printable ASCII, base-94).
+    fn code(mut i: usize) -> String {
+        let mut s = String::new();
+        loop {
+            s.push((33 + (i % 94)) as u8 as char);
+            i /= 94;
+            if i == 0 {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Renders the trace as VCD text, closing the timeline at `end`.
+    pub fn render(&self, end: Cycles) -> String {
+        let mut out = String::new();
+        out.push_str("$date nanowall simulation $end\n");
+        out.push_str("$version nanowall nw-sim $end\n");
+        out.push_str("$timescale 1ns $end\n");
+        let _ = writeln!(out, "$scope module {} $end", self.module);
+        for (i, s) in self.signals.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                s.width,
+                Self::code(i),
+                s.name
+            );
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+        // Merge all changes into one sorted timeline; dedupe repeats.
+        let mut events: Vec<(u64, usize, u64)> = Vec::new();
+        for (i, s) in self.signals.iter().enumerate() {
+            let mut sorted = s.changes.clone();
+            sorted.sort_by_key(|&(t, _)| t);
+            let mut last: Option<u64> = None;
+            for (t, v) in sorted {
+                if last != Some(v) {
+                    events.push((t, i, v));
+                    last = Some(v);
+                }
+            }
+        }
+        events.sort();
+
+        let mut current_time: Option<u64> = None;
+        for (t, i, v) in events {
+            if current_time != Some(t) {
+                let _ = writeln!(out, "#{t}");
+                current_time = Some(t);
+            }
+            let s = &self.signals[i];
+            if s.width == 1 {
+                let _ = writeln!(out, "{}{}", v & 1, Self::code(i));
+            } else {
+                let _ = writeln!(out, "b{v:b} {}", Self::code(i));
+            }
+        }
+        if current_time != Some(end.0) {
+            let _ = writeln!(out, "#{}", end.0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_declares_signals() {
+        let mut t = Tracer::new("platform");
+        t.add_wire("a");
+        t.add_vector("q", 16);
+        let vcd = t.render(Cycles(0));
+        assert!(vcd.contains("$scope module platform $end"));
+        assert!(vcd.contains("$var wire 1 ! a $end"));
+        assert!(vcd.contains("$var wire 16 \" q $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn changes_render_in_time_order() {
+        let mut t = Tracer::new("m");
+        let a = t.add_wire("a");
+        t.change_wire(a, Cycles(10), true);
+        t.change_wire(a, Cycles(3), false);
+        let vcd = t.render(Cycles(20));
+        let p3 = vcd.find("#3").expect("time 3 present");
+        let p10 = vcd.find("#10").expect("time 10 present");
+        assert!(p3 < p10);
+        assert!(vcd.trim_end().ends_with("#20"));
+    }
+
+    #[test]
+    fn repeated_values_deduplicate() {
+        let mut t = Tracer::new("m");
+        let a = t.add_wire("a");
+        for c in 0..5 {
+            t.change_wire(a, Cycles(c), true);
+        }
+        let vcd = t.render(Cycles(10));
+        assert_eq!(vcd.matches("1!").count(), 1, "{vcd}");
+    }
+
+    #[test]
+    fn vectors_render_binary() {
+        let mut t = Tracer::new("m");
+        let q = t.add_vector("q", 8);
+        t.change_vector(q, Cycles(1), 5);
+        t.change_vector(q, Cycles(2), 300); // truncated to 8 bits = 44
+        let vcd = t.render(Cycles(3));
+        assert!(vcd.contains("b101 !"));
+        assert!(vcd.contains("b101100 !"));
+    }
+
+    #[test]
+    fn codes_are_unique_and_printable() {
+        let mut t = Tracer::new("m");
+        let ids: Vec<_> = (0..200).map(|i| t.add_wire(&format!("s{i}"))).collect();
+        assert_eq!(ids.len(), 200);
+        let mut codes = std::collections::HashSet::new();
+        for i in 0..200 {
+            let c = Tracer::code(i);
+            assert!(c.chars().all(|ch| ('!'..='~').contains(&ch)));
+            assert!(codes.insert(c), "duplicate code for {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=64")]
+    fn zero_width_panics() {
+        Tracer::new("m").add_vector("bad", 0);
+    }
+}

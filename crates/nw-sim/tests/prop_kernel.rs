@@ -1,0 +1,89 @@
+//! Property tests for the simulation kernel: event ordering, statistics
+//! invariants and the pipelined server's timing contract.
+
+use nw_sim::{Clocked, EventQueue, Histogram, PipelinedServer, Utilization};
+use nw_types::Cycles;
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in (time, insertion) order regardless of schedule order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        times in prop::collection::vec(0u64..100, 1..64),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Cycles(t), i);
+        }
+        let mut last: Option<(u64, usize)> = None;
+        let mut count = 0;
+        while let Some(i) = q.pop_due(Cycles(1000)) {
+            let t = times[i];
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "stable order violated");
+            }
+            last = Some((t, i));
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Histogram mean/min/max match a naive computation.
+    #[test]
+    fn histogram_summary_matches_naive(values in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(Cycles(v));
+        }
+        let naive_mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - naive_mean).abs() < 1e-6);
+        prop_assert_eq!(h.min(), values.iter().min().map(|&v| Cycles(v)));
+        prop_assert_eq!(h.max(), values.iter().max().map(|&v| Cycles(v)));
+        prop_assert_eq!(h.count(), values.len() as u64);
+        // Quantiles are monotone.
+        prop_assert!(h.quantile(0.25) <= h.quantile(0.75));
+        prop_assert!(h.quantile(0.75) <= h.quantile(1.0));
+    }
+
+    /// Utilization is always in [0, 1] and merge adds exactly.
+    #[test]
+    fn utilization_bounds(pattern in prop::collection::vec(any::<bool>(), 0..200)) {
+        let mut u = Utilization::new();
+        let mut busy = 0u64;
+        for &b in &pattern {
+            if b { u.busy(); busy += 1; } else { u.idle(); }
+        }
+        prop_assert!((0.0..=1.0).contains(&u.fraction()));
+        prop_assert_eq!(u.busy_cycles(), busy);
+        prop_assert_eq!(u.total_cycles(), pattern.len() as u64);
+    }
+
+    /// The pipelined server completes everything submitted, in FIFO order,
+    /// with completions spaced at least II apart.
+    #[test]
+    fn pipeline_timing_contract(
+        ii in 1u64..6,
+        latency in 1u64..20,
+        n in 1usize..20,
+    ) {
+        let mut s = PipelinedServer::new(ii, latency, 64);
+        for id in 0..n as u64 {
+            s.try_submit(id, Cycles(0)).expect("queue sized for the test");
+        }
+        let mut done: Vec<(u64, u64)> = Vec::new();
+        for c in 0..(latency + ii * (n as u64 + 2)) {
+            s.tick(Cycles(c));
+            while let Some(id) = s.take_done() {
+                done.push((c, id));
+            }
+        }
+        prop_assert_eq!(done.len(), n);
+        for (k, &(c, id)) in done.iter().enumerate() {
+            prop_assert_eq!(id, k as u64, "FIFO order");
+            prop_assert!(c >= latency, "nothing completes before the pipeline fills");
+        }
+        for w in done.windows(2) {
+            prop_assert!(w[1].0 - w[0].0 >= ii, "completions at least II apart");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The semiconductor technology ladder of the early-2000s roadmap.
+//!
+//! The paper's scaling arguments (§1 mask NRE, §6.1 wire delay) run over the
+//! process generations from 0.35 µm down to the then-predicted 50 nm node and
+//! slightly beyond. [`TechNode`] enumerates that ladder and provides the
+//! geometric quantities the trend models in `nw-econ` are calibrated on.
+
+use std::fmt;
+
+/// A CMOS process technology node, named by its drawn feature size.
+///
+/// The ladder follows the classic ×0.7 linear shrink per generation used by
+/// the ITRS roadmaps of the period. `N50` is included explicitly because the
+/// paper cites Benini & De Micheli's 50 nm wire-delay prediction (§6.1).
+///
+/// # Examples
+///
+/// ```
+/// use nw_types::TechNode;
+///
+/// assert_eq!(TechNode::N90.feature_nm(), 90);
+/// // 130nm → 90nm → 65nm → 45nm is three generations.
+/// assert_eq!(TechNode::N130.generations_until(TechNode::N45), 3);
+/// assert!(TechNode::N65 < TechNode::N90); // smaller node sorts earlier
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TechNode {
+    /// 45 nm (beyond the paper's horizon; used to extrapolate trends).
+    N45,
+    /// 50 nm — the node of the paper's wire-delay citation.
+    N50,
+    /// 65 nm.
+    N65,
+    /// 90 nm — "exceeding 1M$ for current 90nm process" (§1).
+    N90,
+    /// 130 nm (0.13 µm) — "today's complex 0.13 micron designs" (§1).
+    N130,
+    /// 180 nm (0.18 µm).
+    N180,
+    /// 250 nm (0.25 µm).
+    N250,
+    /// 350 nm (0.35 µm).
+    N350,
+}
+
+impl TechNode {
+    /// All nodes from oldest (largest) to newest (smallest), excluding the
+    /// off-ladder 50 nm point.
+    pub const LADDER: [TechNode; 7] = [
+        TechNode::N350,
+        TechNode::N250,
+        TechNode::N180,
+        TechNode::N130,
+        TechNode::N90,
+        TechNode::N65,
+        TechNode::N45,
+    ];
+
+    /// Drawn feature size in nanometres.
+    pub fn feature_nm(self) -> u32 {
+        match self {
+            TechNode::N45 => 45,
+            TechNode::N50 => 50,
+            TechNode::N65 => 65,
+            TechNode::N90 => 90,
+            TechNode::N130 => 130,
+            TechNode::N180 => 180,
+            TechNode::N250 => 250,
+            TechNode::N350 => 350,
+        }
+    }
+
+    /// Position on the main ladder counting from 350 nm = 0. The 50 nm point
+    /// is treated as fractionally between 65 and 45 nm.
+    pub fn ladder_position(self) -> f64 {
+        match self {
+            TechNode::N350 => 0.0,
+            TechNode::N250 => 1.0,
+            TechNode::N180 => 2.0,
+            TechNode::N130 => 3.0,
+            TechNode::N90 => 4.0,
+            TechNode::N65 => 5.0,
+            TechNode::N50 => 5.43, // log-interpolated between 65 and 45
+            TechNode::N45 => 6.0,
+        }
+    }
+
+    /// Whole process generations between `self` and a newer node.
+    /// Returns 0 if `newer` is not actually newer.
+    pub fn generations_until(self, newer: TechNode) -> u32 {
+        let d = newer.ladder_position() - self.ladder_position();
+        if d <= 0.0 {
+            0
+        } else {
+            d.round() as u32
+        }
+    }
+
+    /// Nominal core clock frequency (Hz) achievable at this node for the
+    /// embedded SoC class the paper discusses (not desktop CPUs). Follows the
+    /// roadmap's roughly ×1.4 frequency step per generation, anchored at
+    /// 200 MHz for 0.35 µm and reaching ~1.5 GHz at 45 nm.
+    pub fn nominal_clock_hz(self) -> f64 {
+        200e6 * 1.4f64.powf(self.ladder_position())
+    }
+
+    /// Typical maximum economical die edge (mm) at this node for a complex
+    /// SoC. Die sizes stayed near-constant across generations; 20 mm is the
+    /// cross-chip distance used by the Benini & De Micheli wire-delay
+    /// argument the paper cites.
+    pub fn die_edge_mm(self) -> f64 {
+        20.0
+    }
+
+    /// Relative logic density versus the 0.35 µm node (area shrink ×2 per
+    /// generation under the ideal 0.7 linear shrink).
+    pub fn density_vs_350(self) -> f64 {
+        2f64.powf(self.ladder_position())
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.feature_nm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotonic_in_feature_size() {
+        for w in TechNode::LADDER.windows(2) {
+            assert!(w[0].feature_nm() > w[1].feature_nm());
+            assert!(w[0].ladder_position() < w[1].ladder_position());
+        }
+    }
+
+    #[test]
+    fn generations_match_roadmap() {
+        assert_eq!(TechNode::N130.generations_until(TechNode::N45), 3);
+        assert_eq!(TechNode::N350.generations_until(TechNode::N90), 4);
+        assert_eq!(TechNode::N90.generations_until(TechNode::N90), 0);
+        // Asking about an older node yields zero, not a panic.
+        assert_eq!(TechNode::N90.generations_until(TechNode::N350), 0);
+    }
+
+    #[test]
+    fn clock_scales_up() {
+        assert!(TechNode::N90.nominal_clock_hz() > TechNode::N180.nominal_clock_hz());
+        // ~768 MHz at 90nm with the 1.4x step from 200 MHz.
+        let f90 = TechNode::N90.nominal_clock_hz();
+        assert!(f90 > 700e6 && f90 < 850e6, "f90 = {f90}");
+    }
+
+    #[test]
+    fn density_doubles_per_generation() {
+        let d130 = TechNode::N130.density_vs_350();
+        let d90 = TechNode::N90.density_vs_350();
+        assert!((d90 / d130 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifty_nm_sits_between_65_and_45() {
+        let p = TechNode::N50.ladder_position();
+        assert!(p > TechNode::N65.ladder_position());
+        assert!(p < TechNode::N45.ladder_position());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TechNode::N90.to_string(), "90nm");
+        assert_eq!(TechNode::N350.to_string(), "350nm");
+    }
+}

@@ -1,0 +1,151 @@
+//! Simulated time in clock cycles.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration or timestamp measured in clock cycles of the platform clock.
+///
+/// The cycle-stepped simulator in `nw-sim` advances one [`Cycles`] unit per
+/// tick. Arithmetic is saturating-free (plain integer ops) because overflow
+/// of a `u64` cycle counter is unreachable in practice (5.8 × 10¹⁹ cycles).
+///
+/// # Examples
+///
+/// ```
+/// use nw_types::Cycles;
+///
+/// let service = Cycles(40);
+/// let round_trip = Cycles(100);
+/// assert_eq!(service + round_trip, Cycles(140));
+/// assert_eq!(round_trip - service, Cycles(60));
+/// assert_eq!(service * 3, Cycles(120));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// The zero duration.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: returns zero instead of wrapping.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Converts to seconds at the given clock frequency in hertz.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nw_types::Cycles;
+    /// let t = Cycles(500_000_000).to_seconds(500e6);
+    /// assert!((t - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn to_seconds(self, clock_hz: f64) -> f64 {
+        self.0 as f64 / clock_hz
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(v: u64) -> Self {
+        Cycles(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let mut c = Cycles(10);
+        c += Cycles(5);
+        assert_eq!(c, Cycles(15));
+        c -= Cycles(3);
+        assert_eq!(c, Cycles(12));
+        assert_eq!(c / 4, Cycles(3));
+        assert_eq!(c * 2, Cycles(24));
+    }
+
+    #[test]
+    fn saturating_sub_stops_at_zero() {
+        assert_eq!(Cycles(3).saturating_sub(Cycles(10)), Cycles::ZERO);
+        assert_eq!(Cycles(10).saturating_sub(Cycles(3)), Cycles(7));
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(total, Cycles(6));
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        assert!((Cycles(1000).to_seconds(1e9) - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cycles(42).to_string(), "42cyc");
+    }
+}

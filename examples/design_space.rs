@@ -1,0 +1,57 @@
+//! MultiFlex-style design-space exploration: sweep platform configurations,
+//! map the IPv4 application onto each with simulated annealing, and print
+//! the Pareto front of PE count versus mapping cost.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use nw_ipv4::app::{fast_path_app, FastPathWeights};
+use nw_mapping::{pareto_front, DsePoint, Mapper, MappingProblem, PeSlot, SimulatedAnnealingMapper};
+use nw_noc::{Topology, TopologyKind};
+use nw_types::NodeId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (app, _) = fast_path_app(4, &FastPathWeights::default())?;
+    let rate_per_entry = 0.002;
+
+    let mut points = Vec::new();
+    let mut details = Vec::new();
+    for topology in [TopologyKind::Mesh, TopologyKind::FatTree, TopologyKind::Crossbar] {
+        for n_pes in [4usize, 6, 8, 12] {
+            let topo = Topology::build(topology, n_pes, 2)?;
+            let hops: Vec<Vec<f64>> = (0..n_pes)
+                .map(|a| (0..n_pes).map(|b| topo.hops(a, b) as f64).collect())
+                .collect();
+            let problem = MappingProblem::new(
+                app.clone(),
+                vec![rate_per_entry; 4],
+                (0..n_pes).map(|i| PeSlot::new(NodeId(i), 1.0)).collect(),
+                hops,
+            )?;
+            let mapping = SimulatedAnnealingMapper {
+                iterations: 10_000,
+                ..SimulatedAnnealingMapper::default()
+            }
+            .map(&problem);
+            let label = format!("{topology}-{n_pes}pe");
+            points.push(DsePoint::new(label.clone(), n_pes as f64, mapping.cost.total));
+            details.push((label, mapping));
+        }
+    }
+
+    println!("{:<16} {:>6} {:>14} {:>12} {:>14}", "config", "PEs", "mapping cost", "bottleneck", "comm byte-hops");
+    for (p, (_, m)) in points.iter().zip(&details) {
+        println!(
+            "{:<16} {:>6.0} {:>14.3} {:>12.3} {:>14.3}",
+            p.label, p.resource, p.quality, m.cost.bottleneck_load, m.cost.comm_byte_hops
+        );
+    }
+
+    let front = pareto_front(&points);
+    println!("\nPareto-efficient configurations (PE count vs mapping cost):");
+    for &i in &front {
+        println!("  {}", points[i].label);
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! The paper's §1 economics, as a calculator: mask and design NRE by node,
+//! break-even volumes, and the implementation-style crossovers for a
+//! product's expected volume.
+//!
+//! ```text
+//! cargo run --release --example nre_calculator           # defaults: $5, 20%
+//! cargo run --release --example nre_calculator 12.50 0.3 # price, margin
+//! ```
+
+use nw_econ::{break_even_volume, crossover_volume, design_nre, mask_set_nre, ImplStyle};
+use nw_types::{Dollars, TechNode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let price = Dollars(args.first().and_then(|s| s.parse().ok()).unwrap_or(5.0));
+    let margin: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.20);
+
+    println!("Chip price {price}, profit margin {:.0}%\n", margin * 100.0);
+    println!(
+        "{:<8} {:>14} {:>16} {:>18} {:>18}",
+        "node", "mask NRE", "mask break-even", "design NRE (mid)", "design break-even"
+    );
+    for node in TechNode::LADDER {
+        let mask = mask_set_nre(node);
+        let design = design_nre(node, 0.5);
+        println!(
+            "{:<8} {:>14} {:>13.2}M {:>18} {:>15.1}M",
+            node.to_string(),
+            mask.to_string(),
+            break_even_volume(mask, price, margin) / 1e6,
+            design.to_string(),
+            break_even_volume(design, price, margin) / 1e6,
+        );
+    }
+
+    println!("\nImplementation-style crossovers at 90nm (10-product platform family):");
+    for w in ImplStyle::ALL.windows(2) {
+        if let Some(v) = crossover_volume(w[0], w[1], TechNode::N90, 10.0, price) {
+            println!("  {} -> {} above {:.2}M units", w[0], w[1], v / 1e6);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Explore the paper's §6.1 topology menu: latency/throughput curves for
+//! bus, ring, mesh, torus, fat tree and crossbar under uniform traffic.
+//!
+//! ```text
+//! cargo run --release --example topology_explorer
+//! ```
+
+use nw_noc::{run_open_loop, OpenLoopConfig, TopologyKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 16;
+    let loads = [0.02, 0.05, 0.10, 0.20, 0.40, 0.60];
+    let kinds = [
+        TopologyKind::SharedBus,
+        TopologyKind::Ring,
+        TopologyKind::Mesh,
+        TopologyKind::Torus,
+        TopologyKind::FatTree,
+        TopologyKind::Crossbar,
+    ];
+    let base = OpenLoopConfig {
+        warmup: 1_000,
+        measure: 8_000,
+        ..OpenLoopConfig::default()
+    };
+
+    println!("Mean packet latency (cycles) on {n} endpoints, uniform traffic");
+    print!("{:<10}", "load");
+    for k in kinds {
+        print!("{:>10}", k.to_string());
+    }
+    println!();
+    for load in loads {
+        print!("{load:<10.2}");
+        for kind in kinds {
+            let mut cfg = base.clone();
+            cfg.offered_load = load;
+            let r = run_open_loop(kind, n, &cfg)?;
+            if r.saturated {
+                print!("{:>10}", "sat");
+            } else {
+                print!("{:>10.1}", r.mean_latency());
+            }
+        }
+        println!();
+    }
+    println!("\n'sat' marks offered loads beyond the topology's saturation point.");
+    Ok(())
+}

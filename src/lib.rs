@@ -1,0 +1,7 @@
+//! Workspace facade for the nanowall MP-SoC reproduction.
+//!
+//! This crate exists to host the runnable [examples](https://doc.rust-lang.org/cargo/guide/project-layout.html)
+//! and cross-crate integration tests of the workspace; the actual library
+//! surface lives in [`nanowall`] and the substrate crates it re-exports.
+
+pub use nanowall;
