@@ -10,7 +10,7 @@
 //! Run everything:
 //!
 //! ```text
-//! cargo run --release -p nw-bench --bin expt -- all
+//! cargo run --release -p nw_bench --bin expt -- all
 //! ```
 //!
 //! or a single experiment by id (`t1`, `t2`, `f3`, `f4`, `f5`, `f6`, `t3`,

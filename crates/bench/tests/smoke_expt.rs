@@ -1,0 +1,49 @@
+//! End-to-end smoke tests for the `expt` binary and its experiment registry.
+
+use std::process::Command;
+
+/// The cheapest experiment (T1, mask-set NRE — pure arithmetic, no
+/// simulation) runs through the library entry point and emits a table.
+#[test]
+fn t1_mask_nre_emits_a_table() {
+    let out = nw_bench::experiments::run_by_id("t1", true).expect("t1 is a registered id");
+    assert!(!out.trim().is_empty(), "t1 must emit a non-empty table");
+    assert!(out.contains("T1"), "table header names the experiment: {out}");
+    assert!(out.contains("90nm"), "paper's headline node appears: {out}");
+    let rows = out.lines().filter(|l| l.contains("nm")).count();
+    assert!(rows >= 5, "one row per technology node: {out}");
+}
+
+/// Unknown ids are rejected, and every advertised id is runnable (checked
+/// here only for the ids that complete in milliseconds).
+#[test]
+fn registry_is_consistent() {
+    assert!(nw_bench::experiments::run_by_id("zz", true).is_none());
+    for id in ["t1", "t2", "f3", "t4", "t7", "f1"] {
+        assert!(nw_bench::experiments::ALL_IDS.contains(&id));
+        let out = nw_bench::experiments::run_by_id(id, true).expect("registered id runs");
+        assert!(!out.trim().is_empty(), "{id} must emit output");
+    }
+}
+
+/// The installed binary itself: `expt --fast t1` exits 0 and prints the
+/// table; bad ids and empty invocations exit non-zero.
+#[test]
+fn expt_binary_runs_t1_end_to_end() {
+    let exe = env!("CARGO_BIN_EXE_expt");
+
+    let ok = Command::new(exe)
+        .args(["--fast", "t1"])
+        .output()
+        .expect("expt binary spawns");
+    assert!(ok.status.success(), "expt t1 must exit 0: {ok:?}");
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(stdout.contains("T1"), "stdout carries the table: {stdout}");
+    assert!(stdout.lines().count() >= 5, "table has rows: {stdout}");
+
+    let bad = Command::new(exe).arg("nope").output().expect("spawns");
+    assert!(!bad.status.success(), "unknown id must exit non-zero");
+
+    let none = Command::new(exe).output().expect("spawns");
+    assert!(!none.status.success(), "no args must exit non-zero (usage)");
+}

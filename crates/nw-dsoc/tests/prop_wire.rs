@@ -6,6 +6,9 @@ use nw_types::ObjectId;
 use proptest::prelude::*;
 
 proptest! {
+    // Pinned effort for CI determinism; override with PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// encode → decode is the identity for any message.
     #[test]
     fn roundtrip(

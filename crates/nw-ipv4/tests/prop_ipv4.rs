@@ -37,6 +37,9 @@ fn arb_header() -> impl Strategy<Value = Ipv4Header> {
 }
 
 proptest! {
+    // Pinned effort for CI determinism; override with PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// Serialize → parse is the identity for any valid header.
     #[test]
     fn header_roundtrip(h in arb_header()) {

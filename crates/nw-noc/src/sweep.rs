@@ -62,9 +62,14 @@ pub struct OpenLoopResult {
     /// Accepted throughput (delivered flits/cycle/endpoint) in the
     /// measurement window.
     pub accepted: f64,
+    /// Offered load actually generated (flits/cycle/endpoint) in the
+    /// measurement window. The Bernoulli injection process only realizes
+    /// `offered` in expectation, so saturation is judged against this.
+    pub generated: f64,
     /// Latency distribution of packets delivered in the measurement window.
     pub latency: Histogram,
-    /// Whether the network kept up (accepted ≥ 95% of offered).
+    /// True when the network failed to keep up: delivered flits fell below
+    /// 95% of the flits generated in the measurement window.
     pub saturated: bool,
 }
 
@@ -120,12 +125,16 @@ pub fn run_open_loop(
     let total = cfg.warmup + cfg.measure;
     let mut latency = Histogram::new();
     let mut delivered_flits = 0u64;
+    let mut generated_flits = 0u64;
     let mut now = Cycles(0);
 
     while now.0 < total {
         if n >= 2 {
             for src in 0..n {
                 if rng.gen_bool(p_gen) {
+                    if now.0 >= cfg.warmup {
+                        generated_flits += flits_per_packet as u64;
+                    }
                     let dst = cfg.pattern.pick_dst(NodeId(src), n, &mut rng);
                     // Refused injections are lost offered load — exactly what
                     // saturation means in an open-loop experiment.
@@ -152,12 +161,17 @@ pub fn run_open_loop(
     }
 
     let accepted = delivered_flits as f64 / (cfg.measure as f64 * n as f64);
-    let saturated = accepted < cfg.offered_load * 0.95;
+    let generated = generated_flits as f64 / (cfg.measure as f64 * n as f64);
+    // Judging saturation against the *realized* offered load (not the
+    // configured expectation) keeps the verdict free of Bernoulli sampling
+    // noise at light loads and short measurement windows.
+    let saturated = delivered_flits < (0.95 * generated_flits as f64) as u64;
     Ok(OpenLoopResult {
         kind,
         n_endpoints: n,
         offered: cfg.offered_load,
         accepted,
+        generated,
         latency,
         saturated,
     })
@@ -186,7 +200,8 @@ pub fn sweep_load(
 }
 
 /// Finds the saturation load of a topology by bisection on the offered load:
-/// the highest load (within `tol`) at which accepted ≥ 95% of offered.
+/// the highest load (within `tol`) at which delivered flits stay ≥ 95% of
+/// the flits actually generated in the measurement window.
 ///
 /// # Errors
 ///

@@ -6,6 +6,9 @@ use nw_types::Cycles;
 use proptest::prelude::*;
 
 proptest! {
+    // Pinned effort for CI determinism; override with PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// Events pop in (time, insertion) order regardless of schedule order.
     #[test]
     fn event_queue_is_a_stable_priority_queue(

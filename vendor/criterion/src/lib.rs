@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container cannot fetch crates.io, so this crate provides the
+//! API subset `benches/paper.rs` uses — `criterion_group!`/`criterion_main!`,
+//! benchmark groups, `Throughput`, `BenchmarkId` and `Bencher::iter` — with
+//! a deliberately small measurement loop: a short warmup, then a fixed
+//! number of timed samples whose mean/min are printed per benchmark. There
+//! is no statistical analysis, plotting or HTML report; the point is that
+//! `cargo bench` compiles and produces stable, quick timings offline.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units the measured iteration count is reported against.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs closures under timing.
+pub struct Bencher {
+    samples: usize,
+    last: Option<Sample>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    mean: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Times `f`: one untimed warmup call, then `samples` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std_black_box(f());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std_black_box(f());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.last = Some(Sample {
+            mean: total / self.samples as u32,
+            min,
+        });
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.criterion.samples_per_bench.min(self.sample_size),
+            last: None,
+        };
+        f(&mut b);
+        let name = format!("{}/{}", self.name, id);
+        match b.last {
+            Some(s) => {
+                let rate = self.throughput.map(|t| per_second(t, s.mean));
+                println!(
+                    "bench {:<44} mean {:>12?} min {:>12?}{}",
+                    name,
+                    s.mean,
+                    s.min,
+                    rate.unwrap_or_default(),
+                );
+            }
+            None => println!("bench {name:<44} (no measurement: Bencher::iter never called)"),
+        }
+    }
+
+    pub fn finish(self) {}
+}
+
+fn per_second(t: Throughput, mean: Duration) -> String {
+    let secs = mean.as_secs_f64().max(1e-12);
+    match t {
+        Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 / secs),
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+            format!("  {:>12.0} B/s", n as f64 / secs)
+        }
+    }
+}
+
+/// Entry point mirroring criterion's `Criterion` builder.
+pub struct Criterion {
+    samples_per_bench: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs quick: this stand-in is for smoke-timing, not statistics.
+        // CRITERION_SAMPLES overrides for a longer manual run.
+        let samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Criterion {
+            samples_per_bench: samples,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.samples_per_bench;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` (harness = false) the binary is executed
+            // with --test-ish args; a bench never wants to fail the test
+            // suite, so args are ignored and the quick run happens either way.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(4));
+        let mut calls = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        g.finish();
+        assert!(calls > 0, "closure must actually run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("Mesh").to_string(), "Mesh");
+    }
+}
