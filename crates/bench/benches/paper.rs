@@ -72,7 +72,13 @@ fn bench_ipv4_datapath(c: &mut Criterion) {
     let mut g = c.benchmark_group("ipv4_datapath");
     let prefixes = {
         let mut t = LinearTable::new();
-        synthetic_table(&mut t, &RouteTableConfig { routes: 256, seed: 3 })
+        synthetic_table(
+            &mut t,
+            &RouteTableConfig {
+                routes: 256,
+                seed: 3,
+            },
+        )
     };
     let mut gen = PacketGenerator::new(prefixes, TrafficMix::WorstCase, 1);
     let packets: Vec<Vec<u8>> = (0..1024).map(|_| gen.next_packet()).collect();
@@ -118,7 +124,11 @@ fn bench_mapping(c: &mut Criterion) {
         .expect("valid app");
     let n = 8usize;
     let hops: Vec<Vec<f64>> = (0..n)
-        .map(|a| (0..n).map(|b| ((a as i64 - b as i64).abs()) as f64).collect())
+        .map(|a| {
+            (0..n)
+                .map(|b| ((a as i64 - b as i64).abs()) as f64)
+                .collect()
+        })
         .collect();
     let problem = MappingProblem::new(
         app,

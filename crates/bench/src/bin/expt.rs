@@ -4,9 +4,23 @@
 //! expt all            # every experiment, DESIGN.md order
 //! expt t3 f6          # selected experiments
 //! expt --fast all     # smaller simulation windows
+//! expt list           # registered experiments and scenarios
 //! ```
 
-use nw_bench::experiments::{run_by_id, ALL_IDS};
+use nw_bench::experiments::{run_by_id, ALL_IDS, EXPERIMENTS};
+
+/// Prints the experiment index and the scenario-registry catalog.
+fn print_list() {
+    println!("Experiments (run with `expt <id>`):");
+    for e in EXPERIMENTS {
+        println!("  {:<4} {}", e.id, e.title);
+    }
+    println!();
+    println!("Scenario registry (nanowall::scenarios::ScenarioRegistry::standard):");
+    for spec in nanowall::ScenarioRegistry::standard().specs() {
+        println!("  {:<8} {}", spec.name, spec.summary);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,8 +30,15 @@ fn main() {
         .filter(|a| *a != "--fast")
         .map(String::as_str)
         .collect();
+    if ids == ["list"] {
+        print_list();
+        return;
+    }
     if ids.is_empty() {
-        eprintln!("usage: expt [--fast] <all | {}>", ALL_IDS.join(" | "));
+        eprintln!(
+            "usage: expt [--fast] <list | all | {}>",
+            ALL_IDS.join(" | ")
+        );
         std::process::exit(2);
     }
     let selected: Vec<&str> = if ids.contains(&"all") {

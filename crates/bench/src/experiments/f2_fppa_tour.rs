@@ -49,12 +49,18 @@ pub fn run(fast: bool) -> F2Result {
         Op::call(edram, 16, 128),
         Op::call(fabric, 32, 8),
         Op::call(codec, 64, 16),
-        Op::LocalMem { write: true, bytes: 64 },
+        Op::LocalMem {
+            write: true,
+            bytes: 64,
+        },
     ]);
     for c in 0..cycles {
         for pe in 0..8 {
             while platform.pe(pe).idle_threads() > 0 {
-                platform.pe_mut(pe).spawn(tour.clone()).expect("idle checked");
+                platform
+                    .pe_mut(pe)
+                    .spawn(tour.clone())
+                    .expect("idle checked");
             }
         }
         platform.step();

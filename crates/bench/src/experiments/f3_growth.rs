@@ -5,7 +5,9 @@
 //! publication.
 
 use crate::Table;
-use nw_econ::{hw_design_effort, hw_transistors, risc_cores_in, sw_complexity, sw_overtakes_hw_year};
+use nw_econ::{
+    hw_design_effort, hw_transistors, risc_cores_in, sw_complexity, sw_overtakes_hw_year,
+};
 
 /// Structured result.
 #[derive(Debug)]

@@ -118,7 +118,10 @@ mod tests {
         assert!(sat(TopologyKind::FatTree) > sat(TopologyKind::SharedBus) * 2.0);
         // Hotspot never helps.
         for row in &r.rows {
-            assert!(row.saturation_hotspot <= row.saturation_uniform + 0.03, "{row:?}");
+            assert!(
+                row.saturation_hotspot <= row.saturation_uniform + 0.03,
+                "{row:?}"
+            );
         }
     }
 }

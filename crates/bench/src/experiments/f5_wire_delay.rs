@@ -62,7 +62,11 @@ mod tests {
     #[test]
     fn fifty_nm_window_and_monotonic_growth() {
         let r = run();
-        assert!((6.0..=10.0).contains(&r.cycles_at_50nm), "{}", r.cycles_at_50nm);
+        assert!(
+            (6.0..=10.0).contains(&r.cycles_at_50nm),
+            "{}",
+            r.cycles_at_50nm
+        );
         for w in r.rows.windows(2) {
             assert!(w[1].3 > w[0].3, "cycles must grow down the ladder");
         }

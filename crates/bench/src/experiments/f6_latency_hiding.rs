@@ -30,7 +30,14 @@ pub fn run(fast: bool) -> F6Result {
     let compute = 40;
     let cycles = if fast { 15_000 } else { 60_000 };
 
-    let mut t = Table::new(&["one-way latency", "1 thr", "2 thr", "4 thr", "8 thr", "16 thr"]);
+    let mut t = Table::new(&[
+        "one-way latency",
+        "1 thr",
+        "2 thr",
+        "4 thr",
+        "8 thr",
+        "16 thr",
+    ]);
     let mut matrix = Vec::new();
     for &lat in &latencies {
         let mut row = Vec::new();

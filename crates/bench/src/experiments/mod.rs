@@ -8,6 +8,7 @@ pub mod f4_topology;
 pub mod f5_wire_delay;
 pub mod f6_latency_hiding;
 pub mod f7_productivity;
+pub mod t10_crypto;
 pub mod t1_mask_nre;
 pub mod t2_breakeven;
 pub mod t3_ipv4;
@@ -15,6 +16,90 @@ pub mod t4_efpga;
 pub mod t5_lpm;
 pub mod t6_mapping;
 pub mod t7_continuum_cost;
+pub mod t8_video;
+pub mod t9_modem;
+
+/// One registered experiment: id and one-line title (`expt list` prints
+/// both; `run_by_id` accepts the id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Experiment {
+    /// Experiment id (`t1`, `f4`, …).
+    pub id: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+}
+
+/// Every experiment in DESIGN.md order.
+pub const EXPERIMENTS: [Experiment; 17] = [
+    Experiment {
+        id: "t1",
+        title: "mask-set NRE by technology node",
+    },
+    Experiment {
+        id: "t2",
+        title: "hardwired vs programmable break-even volumes",
+    },
+    Experiment {
+        id: "f3",
+        title: "design-complexity growth vs productivity",
+    },
+    Experiment {
+        id: "f4",
+        title: "NoC topology characterization (bus/ring/mesh/torus/...)",
+    },
+    Experiment {
+        id: "f5",
+        title: "cross-chip wire delay by node",
+    },
+    Experiment {
+        id: "f6",
+        title: "multithreaded latency hiding (claim C6)",
+    },
+    Experiment {
+        id: "f7",
+        title: "platform productivity model",
+    },
+    Experiment {
+        id: "t3",
+        title: "IPv4 fast path at 10 Gb/s worst case (claim C7)",
+    },
+    Experiment {
+        id: "t4",
+        title: "eFPGA offload break-even",
+    },
+    Experiment {
+        id: "t5",
+        title: "LPM engine shootout",
+    },
+    Experiment {
+        id: "t6",
+        title: "MultiFlex mapping quality (claim C10)",
+    },
+    Experiment {
+        id: "t7",
+        title: "platform-continuum cost model",
+    },
+    Experiment {
+        id: "t8",
+        title: "video codec pipeline: frame-sliced, memory-bound (§7.1)",
+    },
+    Experiment {
+        id: "t9",
+        title: "modem baseband chain: latency-critical, twoway-heavy",
+    },
+    Experiment {
+        id: "t10",
+        title: "crypto offload: hwip-bound bulk transfer (§6.4)",
+    },
+    Experiment {
+        id: "f1",
+        title: "platform-continuum positioning",
+    },
+    Experiment {
+        id: "f2",
+        title: "Figure 2 FPPA tour",
+    },
+];
 
 /// Runs one experiment by id and returns its rendered output.
 ///
@@ -33,6 +118,9 @@ pub fn run_by_id(id: &str, fast: bool) -> Option<String> {
         "t5" => t5_lpm::run(fast).table,
         "t6" => t6_mapping::run(fast).table,
         "t7" => t7_continuum_cost::run().table,
+        "t8" => t8_video::run(fast).table,
+        "t9" => t9_modem::run(fast).table,
+        "t10" => t10_crypto::run(fast).table,
         "f1" => f1_continuum::run().table,
         "f2" => f2_fppa_tour::run(fast).table,
         _ => return None,
@@ -40,7 +128,26 @@ pub fn run_by_id(id: &str, fast: bool) -> Option<String> {
     Some(out)
 }
 
-/// All experiment ids in DESIGN.md order.
-pub const ALL_IDS: [&str; 14] = [
-    "t1", "t2", "f3", "f4", "f5", "f6", "f7", "t3", "t4", "t5", "t6", "t7", "f1", "f2",
-];
+/// All experiment ids in DESIGN.md order (derived from [`EXPERIMENTS`]).
+pub const ALL_IDS: [&str; EXPERIMENTS.len()] = {
+    let mut ids = [""; EXPERIMENTS.len()];
+    let mut i = 0;
+    while i < EXPERIMENTS.len() {
+        ids[i] = EXPERIMENTS[i].id;
+        i += 1;
+    }
+    ids
+};
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_is_titled_and_runnable_by_id() {
+        for e in EXPERIMENTS {
+            assert!(!e.title.is_empty(), "{}", e.id);
+        }
+        assert!(ALL_IDS.contains(&"t1") && ALL_IDS.contains(&"t10"));
+    }
+}

@@ -68,7 +68,11 @@ pub fn run(fast: bool) -> T3Result {
     // Per-hop latency 25 on a mesh: multi-hop round trips well over 100 cyc.
     let link_latency = 25;
     let cycles = if fast { 40_000 } else { 150_000 };
-    let replica_sweep: &[usize] = if fast { &[2, 4, 8, 12, 16] } else { &[2, 4, 8, 12, 16, 20] };
+    let replica_sweep: &[usize] = if fast {
+        &[2, 4, 8, 12, 16]
+    } else {
+        &[2, 4, 8, 12, 16, 20]
+    };
 
     let mut t = Table::new(&[
         "worker PEs",
@@ -144,6 +148,9 @@ mod tests {
         // multithreaded ones do (claim C6/C7 coupling).
         let one = &r.thread_ablation[0];
         let eight = r.thread_ablation.last().unwrap();
-        assert!(eight.forwarded_ratio > one.forwarded_ratio + 0.15, "{one:?} vs {eight:?}");
+        assert!(
+            eight.forwarded_ratio > one.forwarded_ratio + 0.15,
+            "{one:?} vs {eight:?}"
+        );
     }
 }

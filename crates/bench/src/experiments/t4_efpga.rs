@@ -95,7 +95,9 @@ pub fn run() -> T4Result {
     // Functionality share: an FPPA with 16 PEs + memories is ~25 mm² of
     // logic; the default 20k-LUT fabric holds one kernel of ~1.2 mm²
     // hardwired-equivalent at 10x = ~1.2mm² actual... compute directly.
-    let fabric_area: f64 = MappedKernel::map(&KernelSpec::header_classify(), &fabric).area.0;
+    let fabric_area: f64 = MappedKernel::map(&KernelSpec::header_classify(), &fabric)
+        .area
+        .0;
     let platform_area = 16.0 * PeClass::GpRisc.core_area().0 + 12.0;
     let share = fabric_area / (platform_area + fabric_area);
 

@@ -40,7 +40,11 @@ fn measure<T: LpmTable>(mut engine: T, routes: usize, seed: u64) -> LpmRow {
     let cfg = RouteTableConfig { routes, seed };
     let _prefixes = synthetic_table(&mut engine, &cfg);
     let tcam = engine.name() == "tcam";
-    let silicon_ratio = if tcam { CamTable::AREA_RATIO_VS_SRAM } else { 1.0 };
+    let silicon_ratio = if tcam {
+        CamTable::AREA_RATIO_VS_SRAM
+    } else {
+        1.0
+    };
     LpmRow {
         engine: engine.name().to_string(),
         routes,
@@ -52,7 +56,11 @@ fn measure<T: LpmTable>(mut engine: T, routes: usize, seed: u64) -> LpmRow {
 
 /// Runs T5 over 1k/4k/16k routes (plus 64k when not `fast`).
 pub fn run(fast: bool) -> T5Result {
-    let sizes: &[usize] = if fast { &[1_000, 4_000, 16_000] } else { &[1_000, 4_000, 16_000, 64_000] };
+    let sizes: &[usize] = if fast {
+        &[1_000, 4_000, 16_000]
+    } else {
+        &[1_000, 4_000, 16_000, 64_000]
+    };
     let mut rows = Vec::new();
     let mut t = Table::new(&[
         "routes",
@@ -104,7 +112,11 @@ mod tests {
         let at = |engine: &str, accesses: u32, n: usize| {
             r.rows
                 .iter()
-                .find(|row| row.engine == engine && row.routes == n && (accesses == 0 || row.accesses == accesses))
+                .find(|row| {
+                    row.engine == engine
+                        && row.routes == n
+                        && (accesses == 0 || row.accesses == accesses)
+                })
                 .cloned()
                 .unwrap()
         };

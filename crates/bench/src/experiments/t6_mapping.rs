@@ -55,7 +55,8 @@ pub fn run(fast: bool) -> T6Result {
     let gbps = 1.8;
     let cycles = if fast { 40_000 } else { 120_000 };
 
-    let (app, _layouts) = fast_path_app(replicas, &FastPathWeights::default()).expect("replicas >= 1");
+    let (app, _layouts) =
+        fast_path_app(replicas, &FastPathWeights::default()).expect("replicas >= 1");
 
     // Entry rate for the analytic model: packets/cycle split across entries.
     let clock = nw_types::TechNode::N130.nominal_clock_hz();

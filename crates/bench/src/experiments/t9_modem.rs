@@ -1,0 +1,161 @@
+//! T9 — the modem baseband chain: latency-critical, twoway-heavy.
+//!
+//! Every symbol burst makes synchronous round trips on its critical path
+//! (channel-estimate queries from the demodulator, the link-adaptation
+//! report from the FEC decoder), so the workload is the twoway-heavy
+//! counterpart to the oneway IPv4 stream: deadline behaviour is set by how
+//! well the multithreaded PEs hide NoC latency, not by raw compute. The
+//! sweep raises the per-hop link latency and then ablates the thread
+//! count at the worst latency — claim C6 measured on an application whose
+//! message mix is dominated by request/reply.
+
+use crate::Table;
+use nanowall::scenarios::modem_rig;
+use nw_apps::{modem_pipeline, ModemParams};
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct ModemPoint {
+    /// Per-hop link latency in cycles.
+    pub link_latency: u64,
+    /// Hardware threads per PE.
+    pub threads: usize,
+    /// Fraction of generated bursts decoded and delivered to the MAC.
+    pub delivered_ratio: f64,
+    /// Mean NoC packet latency in cycles.
+    pub noc_latency: f64,
+    /// Invocations still queued when the window closed (backlog ⇒ missed
+    /// deadlines).
+    pub backlog: usize,
+    /// Channel-estimator invocations per delivered burst.
+    pub est_queries_per_burst: f64,
+}
+
+/// Structured result.
+#[derive(Debug)]
+pub struct T9Result {
+    /// Link-latency sweep at 4 threads.
+    pub sweep: Vec<ModemPoint>,
+    /// Thread ablation at the worst link latency.
+    pub thread_ablation: Vec<ModemPoint>,
+    /// Twoway fraction of the stage graph's message mix.
+    pub twoway_fraction: f64,
+    /// Rendered table.
+    pub table: String,
+}
+
+fn measure(link_latency: u64, threads: usize, mbps: f64, cycles: u64) -> ModemPoint {
+    let params = ModemParams::default();
+    let mut rig = modem_rig(&params, 6, threads, link_latency, mbps);
+    let est = rig.stage_named("channel-est").expect("stage exists");
+    let report = rig.run(cycles);
+    let io = &report.io[0];
+    let delivered_ratio = if io.generated == 0 {
+        0.0
+    } else {
+        io.transmitted as f64 / io.generated as f64
+    };
+    ModemPoint {
+        link_latency,
+        threads,
+        delivered_ratio,
+        noc_latency: report.noc.latency.mean(),
+        backlog: report.queued_invocations,
+        est_queries_per_burst: if io.transmitted == 0 {
+            0.0
+        } else {
+            report.object_invocations[est.0] as f64 / io.transmitted as f64
+        },
+    }
+}
+
+/// Runs T9: link-latency sweep, then a thread ablation at the worst point.
+pub fn run(fast: bool) -> T9Result {
+    let cycles = if fast { 40_000 } else { 120_000 };
+    let mbps = 800.0;
+    let twoway_fraction = modem_pipeline(&ModemParams::default())
+        .spec
+        .twoway_fraction();
+
+    let mut t = Table::new(&[
+        "link latency",
+        "threads",
+        "delivered",
+        "NoC latency",
+        "backlog",
+        "est/burst",
+    ]);
+    let mut sweep = Vec::new();
+    for link in [2u64, 10, 25, 50] {
+        let p = measure(link, 4, mbps, cycles);
+        t.row_owned(vec![
+            format!("{} cyc", p.link_latency),
+            p.threads.to_string(),
+            format!("{:.0}%", p.delivered_ratio * 100.0),
+            format!("{:.0} cyc", p.noc_latency),
+            p.backlog.to_string(),
+            format!("{:.1}", p.est_queries_per_burst),
+        ]);
+        sweep.push(p);
+    }
+
+    // The ablation runs at a rate that actually loads the PEs, so losing
+    // thread contexts shows up as missed bursts rather than slack.
+    let worst = sweep.last().map(|p| p.link_latency).unwrap_or(50);
+    let stress_mbps = 1800.0;
+    let mut at = Table::new(&["threads", "delivered", "NoC latency", "backlog"]);
+    let mut thread_ablation = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let p = measure(worst, threads, stress_mbps, cycles);
+        at.row_owned(vec![
+            threads.to_string(),
+            format!("{:.0}%", p.delivered_ratio * 100.0),
+            format!("{:.0} cyc", p.noc_latency),
+            p.backlog.to_string(),
+        ]);
+        thread_ablation.push(p);
+    }
+
+    T9Result {
+        sweep,
+        thread_ablation,
+        twoway_fraction,
+        table: format!(
+            "T9  Modem baseband chain: {:.0}% twoway messages on the burst critical path (paper §7.1)\n{}\nThread ablation at {worst}-cycle links, {stress_mbps:.0} Mb/s:\n{}",
+            twoway_fraction * 100.0,
+            t.render(),
+            at.render()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modem_chain_is_twoway_heavy_and_thread_sensitive() {
+        let r = run(true);
+        assert!(r.twoway_fraction > 0.3, "{}", r.twoway_fraction);
+        // Short links deliver essentially everything.
+        let short = &r.sweep[0];
+        assert!(short.delivered_ratio > 0.85, "{short:?}");
+        // The estimator is on the per-burst path (~chan_queries per burst).
+        assert!(short.est_queries_per_burst > 1.0, "{short:?}");
+        // NoC latency grows with the link latency.
+        assert!(
+            r.sweep.last().unwrap().noc_latency > short.noc_latency,
+            "{:?}",
+            r.sweep
+        );
+        // At the worst latency under load, a single context misses bursts
+        // that multithreading recovers (the latency-hiding claim on a
+        // twoway-heavy app).
+        let one = &r.thread_ablation[0];
+        let eight = r.thread_ablation.last().unwrap();
+        assert!(
+            eight.delivered_ratio > one.delivered_ratio + 0.04,
+            "{one:?} vs {eight:?}"
+        );
+    }
+}

@@ -8,7 +8,10 @@ use std::process::Command;
 fn t1_mask_nre_emits_a_table() {
     let out = nw_bench::experiments::run_by_id("t1", true).expect("t1 is a registered id");
     assert!(!out.trim().is_empty(), "t1 must emit a non-empty table");
-    assert!(out.contains("T1"), "table header names the experiment: {out}");
+    assert!(
+        out.contains("T1"),
+        "table header names the experiment: {out}"
+    );
     assert!(out.contains("90nm"), "paper's headline node appears: {out}");
     let rows = out.lines().filter(|l| l.contains("nm")).count();
     assert!(rows >= 5, "one row per technology node: {out}");
@@ -23,6 +26,48 @@ fn registry_is_consistent() {
         assert!(nw_bench::experiments::ALL_IDS.contains(&id));
         let out = nw_bench::experiments::run_by_id(id, true).expect("registered id runs");
         assert!(!out.trim().is_empty(), "{id} must emit output");
+    }
+}
+
+/// The three application-workload experiments run end-to-end and report
+/// non-degenerate numbers: delivered items and nonzero per-item energy.
+#[test]
+fn workload_experiments_are_nondegenerate() {
+    for id in ["t8", "t9", "t10"] {
+        let out = nw_bench::experiments::run_by_id(id, true).expect("registered id runs");
+        assert!(out.contains(&id.to_uppercase()), "{id} table header: {out}");
+        // Every delivered-ratio cell is a percentage; at least one row must
+        // deliver traffic.
+        assert!(
+            out.lines().any(|l| l.contains('%') && !l.contains(" 0%")),
+            "{id} must deliver items: {out}"
+        );
+    }
+    // Per-item energy shows up in the video and crypto tables.
+    let t8 = nw_bench::experiments::run_by_id("t8", true).unwrap();
+    assert!(t8.contains("pJ/slice"), "{t8}");
+    let t10 = nw_bench::experiments::run_by_id("t10", true).unwrap();
+    assert!(t10.contains("pJ/payload"), "{t10}");
+}
+
+/// `expt list` prints every experiment id and every registered scenario.
+#[test]
+fn expt_list_prints_experiments_and_scenarios() {
+    let exe = env!("CARGO_BIN_EXE_expt");
+    let out = Command::new(exe).arg("list").output().expect("spawns");
+    assert!(out.status.success(), "expt list must exit 0: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in nw_bench::experiments::ALL_IDS {
+        assert!(
+            stdout.lines().any(|l| l.trim_start().starts_with(id)),
+            "list must name {id}: {stdout}"
+        );
+    }
+    for name in ["ipv4", "video", "modem", "crypto"] {
+        assert!(
+            stdout.contains(name),
+            "list must name scenario {name}: {stdout}"
+        );
     }
 }
 

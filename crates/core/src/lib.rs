@@ -19,7 +19,10 @@
 //! * [`report`] — [`PlatformReport`]: utilization, throughput, latency and
 //!   energy after a run.
 //! * [`scenarios`] — prebuilt rigs for the paper's experiments (the IPv4
-//!   fast path at 10 Gb/s, the latency-hiding sweep, the Figure 2 tour).
+//!   fast path at 10 Gb/s, the latency-hiding sweep, the Figure 2 tour,
+//!   and the §7.1 application workloads from `nw-apps` — video codec,
+//!   modem baseband, crypto offload), cataloged by name in the
+//!   [`ScenarioRegistry`].
 //!
 //! # Quickstart
 //!
@@ -62,7 +65,8 @@ pub mod tags;
 pub use config::{BuildPlatformError, FppaConfig, HwIpConfig, MemoryBlockConfig};
 pub use platform::{FppaPlatform, NodeRole};
 pub use report::PlatformReport;
-pub use runtime::InstallError;
+pub use runtime::{InstallError, ServiceBinding};
+pub use scenarios::{ScenarioRegistry, ScenarioRig, ScenarioSpec};
 
 /// The convenient single import for examples and experiments.
 pub mod prelude {

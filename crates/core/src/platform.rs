@@ -124,7 +124,13 @@ impl FppaPlatform {
         let mems: Vec<MemoryController> = cfg
             .memories
             .iter()
-            .map(|m| MemoryController::new(MemorySpec::at_node(m.technology, cfg.tech), m.banks, m.queue_depth))
+            .map(|m| {
+                MemoryController::new(
+                    MemorySpec::at_node(m.technology, cfg.tech),
+                    m.banks,
+                    m.queue_depth,
+                )
+            })
             .collect();
         for i in 0..mems.len() {
             mem_nodes.push(NodeId(roles.len()));
@@ -281,7 +287,11 @@ impl FppaPlatform {
     pub fn hop_matrix(&self) -> Vec<Vec<f64>> {
         let n = self.roles.len();
         (0..n)
-            .map(|a| (0..n).map(|b| self.noc.topology().hops(a, b) as f64).collect())
+            .map(|a| {
+                (0..n)
+                    .map(|b| self.noc.topology().hops(a, b) as f64)
+                    .collect()
+            })
             .collect()
     }
 
@@ -514,7 +524,12 @@ impl FppaPlatform {
             let src = self.pe_nodes[p];
             for (tid, req) in self.pes[p].take_requests() {
                 match req {
-                    PeRequest::Send { dst, bytes, mut data, tag } => {
+                    PeRequest::Send {
+                        dst,
+                        bytes,
+                        mut data,
+                        tag,
+                    } => {
                         if (data.len() as u64) < bytes {
                             data.resize(bytes as usize, 0);
                         }
@@ -526,7 +541,12 @@ impl FppaPlatform {
                             on_accept: Some((PeId(p), tid)),
                         });
                     }
-                    PeRequest::Call { dst, bytes, reply_bytes, mut data } => {
+                    PeRequest::Call {
+                        dst,
+                        bytes,
+                        reply_bytes,
+                        mut data,
+                    } => {
                         if (data.len() as u64) < bytes {
                             data.resize(bytes as usize, 0);
                         }

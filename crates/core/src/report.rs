@@ -38,6 +38,10 @@ pub struct PlatformReport {
     pub energy: Picojoules,
     /// Invocations still queued at the dispatcher.
     pub queued_invocations: usize,
+    /// Invocations dispatched per application object (empty when no
+    /// application is installed) — the per-stage throughput input for the
+    /// workload rigs.
+    pub object_invocations: Vec<u64>,
     /// Memory accesses served across all controllers.
     pub mem_accesses: u64,
     /// Items served by eFPGA fabrics.
@@ -76,6 +80,9 @@ impl PlatformReport {
                 .collect(),
             energy: p.total_energy(),
             queued_invocations: p.runtime().map_or(0, |r| r.queued_invocations()),
+            object_invocations: p
+                .runtime()
+                .map_or_else(Vec::new, |r| r.object_dispatches().to_vec()),
             mem_accesses: p.mems_slice().iter().map(|m| m.served()).sum(),
             fabric_served: p.fabrics_slice().iter().map(|f| f.served()).sum(),
             hwip_served: p.hwips_slice().iter().map(|h| h.served()).sum(),
@@ -114,6 +121,32 @@ impl PlatformReport {
         match self.io.get(io) {
             Some(r) if r.generated > 0 => 1.0 - r.dropped as f64 / r.generated as f64,
             _ => 1.0,
+        }
+    }
+
+    /// Invocation rate of one application object in items per cycle
+    /// (0.0 without an installed application or over an empty window).
+    pub fn object_rate(&self, object: usize) -> f64 {
+        if self.cycles == Cycles::ZERO {
+            return 0.0;
+        }
+        self.object_invocations
+            .get(object)
+            .map_or(0.0, |&n| n as f64 / self.cycles.0 as f64)
+    }
+
+    /// Invocation rate of one application object in items per second.
+    pub fn object_rate_per_sec(&self, object: usize) -> f64 {
+        self.object_rate(object) * self.clock_hz
+    }
+
+    /// Total dynamic energy per item transmitted on channel `io` — the
+    /// energy-per-frame / energy-per-payload figure of the workload rigs.
+    /// `None` when nothing was transmitted.
+    pub fn energy_per_transmitted(&self, io: usize) -> Option<Picojoules> {
+        match self.io.get(io) {
+            Some(r) if r.transmitted > 0 => Some(Picojoules(self.energy.0 / r.transmitted as f64)),
+            _ => None,
         }
     }
 }

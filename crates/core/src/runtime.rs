@@ -43,6 +43,8 @@ pub enum InstallError {
     IoOutOfRange(usize),
     /// The object does not exist in the application.
     UnknownObject(ObjectId),
+    /// The bound node is not a service endpoint (memory, fabric or hwip).
+    NotAServiceNode(NodeId),
 }
 
 impl fmt::Display for InstallError {
@@ -56,6 +58,9 @@ impl fmt::Display for InstallError {
             InstallError::NoApp => write!(f, "no application installed"),
             InstallError::IoOutOfRange(i) => write!(f, "no I/O channel {i}"),
             InstallError::UnknownObject(o) => write!(f, "object {o} not in application"),
+            InstallError::NotAServiceNode(n) => {
+                write!(f, "node {n} is not a memory/fabric/hwip service endpoint")
+            }
         }
     }
 }
@@ -67,6 +72,20 @@ impl std::error::Error for InstallError {}
 pub(crate) struct IoBinding {
     pub object: ObjectId,
     pub method: MethodId,
+}
+
+/// A per-invocation synchronous offload against a platform service node
+/// (memory macro, eFPGA fabric or hardwired IP) installed on an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceBinding {
+    /// The service endpoint the handler calls.
+    pub node: NodeId,
+    /// Request payload per call.
+    pub request_bytes: u64,
+    /// Expected reply payload per call.
+    pub reply_bytes: u64,
+    /// Synchronous calls per invocation.
+    pub calls: u32,
 }
 
 /// A queued invocation awaiting an idle hardware thread.
@@ -103,6 +122,8 @@ pub struct Runtime {
     saturate: Vec<(ObjectId, MethodId)>,
     /// Egress bindings: object → (I/O node, packet bytes).
     egress: HashMap<ObjectId, (NodeId, u64)>,
+    /// Service bindings: object → per-invocation offload calls.
+    services: HashMap<ObjectId, ServiceBinding>,
     /// Fractional call-multiplicity carry per edge index.
     edge_carry: Vec<f64>,
     seq: u32,
@@ -110,6 +131,8 @@ pub struct Runtime {
     pub decode_errors: u64,
     /// Total invocations dispatched to threads.
     pub dispatched: u64,
+    /// Invocations dispatched per object (per-stage throughput input).
+    dispatched_per_object: Vec<u64>,
 }
 
 impl Runtime {
@@ -134,6 +157,7 @@ impl Runtime {
             broker.register(ObjectId(obj), pe_nodes[pe]);
         }
         let n_edges = app.edges().len();
+        let n_objects = app.objects().len();
         Ok(Runtime {
             app,
             placement,
@@ -144,10 +168,12 @@ impl Runtime {
             io_rr: vec![0; n_ios],
             saturate: Vec::new(),
             egress: HashMap::new(),
+            services: HashMap::new(),
             edge_carry: vec![0.0; n_edges],
             seq: 0,
             decode_errors: 0,
             dispatched: 0,
+            dispatched_per_object: vec![0; n_objects],
         })
     }
 
@@ -213,6 +239,28 @@ impl Runtime {
         }
         self.egress.insert(object, (io_node, packet_bytes));
         Ok(())
+    }
+
+    pub(crate) fn bind_service(
+        &mut self,
+        object: ObjectId,
+        binding: ServiceBinding,
+    ) -> Result<(), InstallError> {
+        if object.0 >= self.app.objects().len() {
+            return Err(InstallError::UnknownObject(object));
+        }
+        self.services.insert(object, binding);
+        Ok(())
+    }
+
+    /// The service binding of `object`, if any.
+    pub fn service_of(&self, object: ObjectId) -> Option<&ServiceBinding> {
+        self.services.get(&object)
+    }
+
+    /// Invocations dispatched per object (indexed by [`ObjectId`]).
+    pub fn object_dispatches(&self) -> &[u64] {
+        &self.dispatched_per_object
     }
 
     pub(crate) fn io_has_bindings(&self, io: usize) -> bool {
@@ -295,16 +343,15 @@ impl Runtime {
     /// Dispatches queued invocations (and saturation refills) onto idle
     /// hardware threads.
     pub(crate) fn dispatch(&mut self, pes: &mut [Pe]) {
-        for p in 0..self.dispatch.len() {
-            while pes[p].idle_threads() > 0 {
+        for (p, pe) in pes.iter_mut().enumerate() {
+            while pe.idle_threads() > 0 {
                 let Some(inv) = self.dispatch[p].pop_front() else {
                     break;
                 };
                 let prog = self.synthesize(&inv);
-                pes[p]
-                    .spawn(prog)
-                    .expect("idle thread count was checked");
+                pe.spawn(prog).expect("idle thread count was checked");
                 self.dispatched += 1;
+                self.dispatched_per_object[inv.object.0] += 1;
             }
         }
         // Saturation mode: keep every context of the hosting PE occupied.
@@ -319,6 +366,7 @@ impl Runtime {
                 });
                 pes[pe].spawn(prog).expect("idle thread count was checked");
                 self.dispatched += 1;
+                self.dispatched_per_object[object.0] += 1;
             }
         }
     }
@@ -332,6 +380,19 @@ impl Runtime {
                 write: false,
                 bytes: method.local_bytes,
             });
+        }
+        // Service offloads precede the compute burst: the handler fetches
+        // its operands (reference windows, cipher blocks) from the bound
+        // service node, blocking the thread per round trip.
+        if let Some(&svc) = self.services.get(&inv.object) {
+            for _ in 0..svc.calls {
+                ops.push(Op::Call {
+                    dst: svc.node,
+                    bytes: svc.request_bytes,
+                    reply_bytes: svc.reply_bytes,
+                    data: Vec::new(),
+                });
+            }
         }
         if method.compute_cycles > 0 {
             ops.push(Op::Compute(method.compute_cycles));
@@ -440,7 +501,9 @@ impl FppaPlatform {
         app: &Application,
         placement: &[usize],
     ) -> Result<(), InstallError> {
-        let pe_nodes: Vec<NodeId> = (0..self.pes_slice().len()).map(|i| self.pe_node(i)).collect();
+        let pe_nodes: Vec<NodeId> = (0..self.pes_slice().len())
+            .map(|i| self.pe_node(i))
+            .collect();
         let rt = Runtime::new(
             app.clone(),
             placement.to_vec(),
@@ -514,6 +577,46 @@ impl FppaPlatform {
             .as_mut()
             .ok_or(InstallError::NoApp)?
             .bind_egress(object, io_node, packet_bytes)
+    }
+
+    /// Installs a per-invocation service offload on `object`: every
+    /// synthesized handler performs `calls` synchronous
+    /// `request_bytes`/`reply_bytes` round trips to the service at `node`
+    /// (a memory macro, eFPGA fabric or hardwired IP endpoint) before its
+    /// compute burst.
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError::NotAServiceNode`] if `node` does not host a memory,
+    /// fabric or hwip block; otherwise see [`InstallError`].
+    pub fn bind_service(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        request_bytes: u64,
+        reply_bytes: u64,
+        calls: u32,
+    ) -> Result<(), InstallError> {
+        match self.role(node) {
+            Some(
+                crate::platform::NodeRole::Memory(_)
+                | crate::platform::NodeRole::Fabric(_)
+                | crate::platform::NodeRole::HwIp(_),
+            ) => {}
+            _ => return Err(InstallError::NotAServiceNode(node)),
+        }
+        self.runtime
+            .as_mut()
+            .ok_or(InstallError::NoApp)?
+            .bind_service(
+                object,
+                ServiceBinding {
+                    node,
+                    request_bytes,
+                    reply_bytes,
+                    calls,
+                },
+            )
     }
 
     /// The installed runtime, if any.

@@ -7,20 +7,32 @@
 //!   service across a configurable-latency link; reports core utilization.
 //! * [`ipv4_rig`] — the T3/T6 rig: the §7.2 scenario, an IPv4 fast path on
 //!   a many-PE FPPA fed by a 10 Gb/s worst-case line.
+//! * [`video_rig`] / [`modem_rig`] / [`crypto_rig`] — the T8/T9/T10 rigs:
+//!   the §7.1 application workloads from `nw-apps` (frame-sliced video
+//!   codec, modem baseband chain, crypto offload), auto-placed by the
+//!   MultiFlex greedy mapper.
 //! * [`fppa_tour_config`] — the F2 rig: a Figure 2 platform with one of
 //!   every component class.
+//!
+//! The named rigs are collected in the [`ScenarioRegistry`], the
+//! name → builder catalog the `expt` binary lists and tests enumerate.
 
 use crate::config::{FppaConfig, HwIpConfig, MemoryBlockConfig};
 use crate::platform::FppaPlatform;
 use crate::report::PlatformReport;
+use nw_apps::{
+    crypto_pipeline, modem_pipeline, video_pipeline, CryptoParams, ModemParams, PipelineLayout,
+    ServiceKind, VideoParams,
+};
 use nw_dsoc::Application;
 use nw_fabric::FabricSpec;
 use nw_hwip::IoChannelConfig;
 use nw_ipv4::app::{fast_path_app, FastPathLayout, FastPathWeights};
+use nw_mapping::{GreedyLoadMapper, Mapper, MappingProblem, PeSlot};
 use nw_mem::MemoryTechnology;
 use nw_noc::TopologyKind;
 use nw_pe::{Op, PeClass, PeConfig, Program, SchedPolicy};
-use nw_types::{AreaMm2, Picojoules};
+use nw_types::{AreaMm2, NodeId, ObjectId, Picojoules};
 
 /// Result of one latency-hiding measurement point (experiment F6).
 #[derive(Debug, Clone, Copy)]
@@ -176,7 +188,9 @@ pub fn ipv4_rig(
         .install_app(&app, &placement)
         .expect("placement built to match");
     for l in &layouts {
-        platform.bind_io_entry(0, l.classifier).expect("io 0 exists");
+        platform
+            .bind_io_entry(0, l.classifier)
+            .expect("io 0 exists");
         platform.bind_egress(l.egress, 0, 40).expect("io 0 exists");
     }
     Ipv4Rig {
@@ -224,7 +238,9 @@ pub fn ipv4_rig_with_placement(
         .install_app(&app, placement)
         .expect("placement must match the application");
     for l in &layouts {
-        platform.bind_io_entry(0, l.classifier).expect("io 0 exists");
+        platform
+            .bind_io_entry(0, l.classifier)
+            .expect("io 0 exists");
         platform.bind_egress(l.egress, 0, 40).expect("io 0 exists");
     }
     Ipv4Rig {
@@ -271,6 +287,396 @@ pub fn fppa_tour_config() -> FppaConfig {
         ..IoChannelConfig::ten_gbe_worst_case()
     });
     cfg
+}
+
+/// A named, runnable scenario: an assembled platform with its installed
+/// application, placement and stage directory — the uniform shape every
+/// [`ScenarioRegistry`] builder produces.
+#[derive(Debug)]
+pub struct ScenarioRig {
+    /// The platform (run it to measure).
+    pub platform: FppaPlatform,
+    /// The installed DSOC application.
+    pub app: Application,
+    /// Placement used (object → PE index).
+    pub placement: Vec<usize>,
+}
+
+impl ScenarioRig {
+    /// Runs the rig for `cycles` cycles and reports.
+    pub fn run(&mut self, cycles: u64) -> PlatformReport {
+        self.platform.run(cycles)
+    }
+
+    /// `(object name, id)` pairs in object order — the stage directory for
+    /// per-stage reporting.
+    pub fn stages(&self) -> Vec<(String, ObjectId)> {
+        self.app
+            .objects()
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.name.clone(), ObjectId(i)))
+            .collect()
+    }
+
+    /// Looks up an object id by its name.
+    pub fn stage_named(&self, name: &str) -> Option<ObjectId> {
+        self.app
+            .objects()
+            .iter()
+            .position(|o| o.name == name)
+            .map(ObjectId)
+    }
+}
+
+/// Places `app` on the first `n_pes` endpoints of `platform` with the
+/// MultiFlex greedy load mapper (entry rates in items per cycle).
+fn auto_place(
+    platform: &FppaPlatform,
+    app: &Application,
+    n_pes: usize,
+    entry_rates: &[f64],
+) -> Vec<usize> {
+    let problem = MappingProblem::new(
+        app.clone(),
+        entry_rates.to_vec(),
+        (0..n_pes).map(|i| PeSlot::new(NodeId(i), 1.0)).collect(),
+        platform.hop_matrix(),
+    )
+    .expect("rig-constructed problems are valid");
+    GreedyLoadMapper.map(&problem).placement
+}
+
+/// Binds every [`ServiceKind::Memory`] demand of `layout` to memory 0 and
+/// partitions [`ServiceKind::HwIp`] demands across the platform's hwip
+/// blocks in declaration order (fabric demands go to fabric 0).
+fn bind_layout_services(platform: &mut FppaPlatform, layout: &PipelineLayout) {
+    let mut next_hwip = 0usize;
+    let n_hwips = platform.config().hwip.len();
+    for &(stage, demand) in &layout.services {
+        let node = match demand.kind {
+            ServiceKind::Memory => platform.memory_node(0),
+            ServiceKind::Fabric => platform.fabric_node(0),
+            ServiceKind::HwIp => {
+                let node = platform.hwip_node(next_hwip % n_hwips.max(1));
+                next_hwip += 1;
+                node
+            }
+        };
+        platform
+            .bind_service(
+                layout.objects[stage],
+                node,
+                demand.request_bytes,
+                demand.reply_bytes,
+                demand.calls_per_item,
+            )
+            .expect("layout objects are installed and nodes are services");
+    }
+}
+
+/// Builds the T8 rig: the frame-sliced video codec pipeline on `n_pes`
+/// multithreaded PEs, its reference-frame store on a shared SRAM macro,
+/// fed slices at `gbps` through one I/O channel with the packed bitstream
+/// bound back to the same channel. Placement is computed by the greedy
+/// MultiFlex mapper from the line rate.
+///
+/// # Panics
+///
+/// Panics on internal construction failure (fixed valid configs) or
+/// `params.lanes == 0`.
+pub fn video_rig(
+    params: &VideoParams,
+    n_pes: usize,
+    threads: usize,
+    link_latency: u64,
+    gbps: f64,
+) -> ScenarioRig {
+    let workload = video_pipeline(params);
+    let (app, layout) = workload
+        .spec
+        .to_application()
+        .expect("video pipeline lowers to a valid application");
+
+    let mut cfg = FppaConfig::new("video-codec", TopologyKind::Mesh);
+    cfg.link_latency = Some(link_latency);
+    for _ in 0..n_pes {
+        cfg.add_pe(PeConfig::new(PeClass::Dsp, threads));
+    }
+    // The shared reference-frame store the motion estimators hammer.
+    cfg.add_memory(MemoryBlockConfig::new(MemoryTechnology::Edram, 64.0));
+    let mut io = IoChannelConfig::ten_gbe_worst_case();
+    io.rate = nw_types::BitsPerSec::from_gbps(gbps);
+    io.packet_bytes = nw_types::Bytes(params.slice_bytes);
+    io.clock_hz = cfg.tech.nominal_clock_hz();
+    cfg.add_io(io);
+    let slices_per_cycle = io.packets_per_cycle();
+
+    let mut platform = FppaPlatform::new(cfg).expect("valid fixed config");
+    let per_entry = slices_per_cycle / params.lanes as f64;
+    let placement = auto_place(&platform, &app, n_pes, &vec![per_entry; params.lanes]);
+    platform
+        .install_app(&app, &placement)
+        .expect("placement built to match");
+    for lane in &workload.lanes {
+        platform
+            .bind_io_entry(0, layout.objects[lane.ingest])
+            .expect("io 0 exists");
+        platform
+            .bind_egress(layout.objects[lane.pack], 0, params.slice_bytes / 2)
+            .expect("io 0 exists");
+    }
+    bind_layout_services(&mut platform, &layout);
+    ScenarioRig {
+        platform,
+        app,
+        placement,
+    }
+}
+
+/// Builds the T9 rig: the modem baseband chain on `n_pes` multithreaded
+/// PEs, symbol bursts arriving at `mbps` through one I/O channel and
+/// decoded MAC payloads bound back to it. Twoway channel-estimate and
+/// link-adaptation round trips ride the NoC at `link_latency` cycles per
+/// hop — the latency the threads must hide.
+///
+/// # Panics
+///
+/// Panics on internal construction failure or `params.carriers == 0`.
+pub fn modem_rig(
+    params: &ModemParams,
+    n_pes: usize,
+    threads: usize,
+    link_latency: u64,
+    mbps: f64,
+) -> ScenarioRig {
+    let workload = modem_pipeline(params);
+    let (app, layout) = workload
+        .spec
+        .to_application()
+        .expect("modem pipeline lowers to a valid application");
+
+    let mut cfg = FppaConfig::new("modem-baseband", TopologyKind::Mesh);
+    cfg.link_latency = Some(link_latency);
+    for _ in 0..n_pes {
+        cfg.add_pe(PeConfig::new(PeClass::Dsp, threads));
+    }
+    cfg.add_memory(MemoryBlockConfig::new(MemoryTechnology::Sram, 8.0));
+    let mut io = IoChannelConfig::ten_gbe_worst_case();
+    io.rate = nw_types::BitsPerSec::from_gbps(mbps / 1000.0);
+    io.packet_bytes = nw_types::Bytes(params.burst_bytes);
+    io.clock_hz = cfg.tech.nominal_clock_hz();
+    cfg.add_io(io);
+    let bursts_per_cycle = io.packets_per_cycle();
+
+    let mut platform = FppaPlatform::new(cfg).expect("valid fixed config");
+    let per_entry = bursts_per_cycle / params.carriers as f64;
+    let placement = auto_place(&platform, &app, n_pes, &vec![per_entry; params.carriers]);
+    platform
+        .install_app(&app, &placement)
+        .expect("placement built to match");
+    for chain in &workload.chains {
+        platform
+            .bind_io_entry(0, layout.objects[chain.frontend])
+            .expect("io 0 exists");
+        platform
+            .bind_egress(layout.objects[chain.mac_out], 0, params.burst_bytes / 2)
+            .expect("io 0 exists");
+    }
+    ScenarioRig {
+        platform,
+        app,
+        placement,
+    }
+}
+
+/// Builds the T10 rig: the crypto offload pipeline on `n_pes` PEs with a
+/// hardwired AES engine and hash engine behind the NoC. Bulk payloads
+/// arrive at `gbps`; every cipher/auth stage streams its blocks through
+/// the shared engines (one synchronous call per block) before the
+/// authenticated payload leaves through the same channel.
+///
+/// # Panics
+///
+/// Panics on internal construction failure or `params.channels == 0`.
+pub fn crypto_rig(
+    params: &CryptoParams,
+    n_pes: usize,
+    threads: usize,
+    link_latency: u64,
+    gbps: f64,
+) -> ScenarioRig {
+    let workload = crypto_pipeline(params);
+    let (app, layout) = workload
+        .spec
+        .to_application()
+        .expect("crypto pipeline lowers to a valid application");
+
+    let mut cfg = FppaConfig::new("crypto-offload", TopologyKind::Mesh);
+    cfg.link_latency = Some(link_latency);
+    for _ in 0..n_pes {
+        cfg.add_pe(PeConfig::new(PeClass::GpRisc, threads));
+    }
+    cfg.add_memory(MemoryBlockConfig::new(MemoryTechnology::Sram, 4.0));
+    cfg.add_hwip(HwIpConfig {
+        name: "aes-engine".to_owned(),
+        ii: 2,
+        latency: 16,
+        area: AreaMm2(0.6),
+        energy_per_item: Picojoules(55.0),
+    });
+    cfg.add_hwip(HwIpConfig {
+        name: "hash-engine".to_owned(),
+        ii: 2,
+        latency: 12,
+        area: AreaMm2(0.4),
+        energy_per_item: Picojoules(35.0),
+    });
+    let mut io = IoChannelConfig::ten_gbe_worst_case();
+    io.rate = nw_types::BitsPerSec::from_gbps(gbps);
+    io.packet_bytes = nw_types::Bytes(params.payload_bytes);
+    io.clock_hz = cfg.tech.nominal_clock_hz();
+    cfg.add_io(io);
+    let payloads_per_cycle = io.packets_per_cycle();
+
+    let mut platform = FppaPlatform::new(cfg).expect("valid fixed config");
+    let per_entry = payloads_per_cycle / params.channels as f64;
+    let placement = auto_place(&platform, &app, n_pes, &vec![per_entry; params.channels]);
+    platform
+        .install_app(&app, &placement)
+        .expect("placement built to match");
+    for ch in &workload.channels {
+        platform
+            .bind_io_entry(0, layout.objects[ch.ingest])
+            .expect("io 0 exists");
+        platform
+            .bind_egress(layout.objects[ch.egress], 0, params.payload_bytes)
+            .expect("io 0 exists");
+    }
+    // Cipher blocks stream through the AES engine, digests through the
+    // hash engine — the round-robin hwip partition in declaration order
+    // (cipher stages were declared before auth stages per channel).
+    bind_layout_services(&mut platform, &layout);
+    ScenarioRig {
+        platform,
+        app,
+        placement,
+    }
+}
+
+/// One registry entry: a named rig with a one-line summary and a builder.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSpec {
+    /// Registry key (`expt list` prints it).
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Builds the rig; `fast` shrinks the instance for CI-speed runs.
+    pub build: fn(fast: bool) -> ScenarioRig,
+}
+
+/// The name → rig-builder catalog of the paper's scenarios.
+///
+/// [`ScenarioRegistry::standard`] registers the four application rigs
+/// (IPv4 fast path, video codec, modem baseband, crypto offload); external
+/// callers can [`register`](ScenarioRegistry::register) more.
+///
+/// # Examples
+///
+/// ```
+/// use nanowall::scenarios::ScenarioRegistry;
+///
+/// let reg = ScenarioRegistry::standard();
+/// assert!(reg.names().contains(&"video"));
+/// let mut rig = reg.build("crypto", true).expect("registered");
+/// let report = rig.run(5_000);
+/// assert!(report.tasks_completed > 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct ScenarioRegistry {
+    specs: Vec<ScenarioSpec>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard catalog: `ipv4`, `video`, `modem`, `crypto`.
+    pub fn standard() -> Self {
+        let mut reg = Self::new();
+        reg.register(ScenarioSpec {
+            name: "ipv4",
+            summary: "IPv4 fast path at line rate on worker chains + shared lookup ASIP (§7.2)",
+            build: |fast| {
+                let replicas = if fast { 4 } else { 8 };
+                let rig = ipv4_rig(replicas, 8, TopologyKind::Mesh, 4, replicas as f64 * 0.6);
+                ScenarioRig {
+                    platform: rig.platform,
+                    app: rig.app,
+                    placement: rig.placement,
+                }
+            },
+        });
+        reg.register(ScenarioSpec {
+            name: "video",
+            summary: "frame-sliced video codec: memory-bound motion search + entropy coding (§7.1)",
+            build: |fast| {
+                let params = VideoParams {
+                    lanes: if fast { 2 } else { 4 },
+                    ..VideoParams::default()
+                };
+                let gbps = if fast { 3.0 } else { 6.0 };
+                video_rig(&params, 2 * params.lanes + 1, 4, 4, gbps)
+            },
+        });
+        reg.register(ScenarioSpec {
+            name: "modem",
+            summary: "modem baseband chain: twoway-heavy channel-estimate/link-adapt round trips",
+            build: |fast| {
+                let params = ModemParams::default();
+                let mbps = if fast { 400.0 } else { 800.0 };
+                modem_rig(&params, 6, 4, 4, mbps)
+            },
+        });
+        reg.register(ScenarioSpec {
+            name: "crypto",
+            summary: "crypto offload: bulk payloads streamed through shared AES/hash engines",
+            build: |fast| {
+                let params = CryptoParams::default();
+                let gbps = if fast { 2.0 } else { 4.0 };
+                crypto_rig(&params, 4, 8, 4, gbps)
+            },
+        });
+        reg
+    }
+
+    /// Adds a spec (later registrations shadow earlier names in
+    /// [`get`](ScenarioRegistry::get)).
+    pub fn register(&mut self, spec: ScenarioSpec) {
+        self.specs.push(spec);
+    }
+
+    /// All specs in registration order.
+    pub fn specs(&self) -> &[ScenarioSpec] {
+        &self.specs
+    }
+
+    /// Registered names in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.specs.iter().map(|s| s.name).collect()
+    }
+
+    /// Looks up a spec by name (latest registration wins).
+    pub fn get(&self, name: &str) -> Option<&ScenarioSpec> {
+        self.specs.iter().rev().find(|s| s.name == name)
+    }
+
+    /// Builds the named rig, or `None` for an unknown name.
+    pub fn build(&self, name: &str, fast: bool) -> Option<ScenarioRig> {
+        self.get(name).map(|s| (s.build)(fast))
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +737,107 @@ mod tests {
         let worker_util: f64 = report.pe_utilization[..4].iter().sum::<f64>() / 4.0;
         assert!(worker_util > 0.9, "workers should saturate: {worker_util}");
         assert!(report.queued_invocations > 100, "backlog should grow");
+    }
+
+    #[test]
+    fn video_rig_delivers_slices_and_hits_the_frame_store() {
+        let params = VideoParams {
+            lanes: 2,
+            ..VideoParams::default()
+        };
+        let mut rig = video_rig(&params, 5, 4, 2, 3.0);
+        let report = rig.run(40_000);
+        assert!(report.io[0].generated > 20, "{:?}", report.io[0]);
+        assert!(
+            report.io[0].transmitted as f64 > report.io[0].generated as f64 * 0.7,
+            "sustainable rate should deliver most slices: {:?}",
+            report.io[0]
+        );
+        // Memory-bound: the reference fetches land on the frame store.
+        assert!(
+            report.mem_accesses >= report.io[0].transmitted * params.ref_fetches as u64,
+            "mem {} vs slices {}",
+            report.mem_accesses,
+            report.io[0].transmitted
+        );
+        assert!(report.energy.0 > 0.0);
+        // Per-stage accounting reaches the pipeline tail.
+        let pack = rig.stage_named("pack-0").unwrap();
+        assert!(report.object_invocations[pack.0] > 0);
+    }
+
+    #[test]
+    fn modem_rig_is_twoway_heavy_and_holds_the_air_rate() {
+        let mut rig = modem_rig(&ModemParams::default(), 6, 4, 2, 400.0);
+        let report = rig.run(40_000);
+        assert!(report.io[0].generated > 10, "{:?}", report.io[0]);
+        assert!(
+            report.io[0].transmitted as f64 > report.io[0].generated as f64 * 0.7,
+            "{:?}",
+            report.io[0]
+        );
+        // The shared estimator answers every carrier's queries: its rate is
+        // chan_queries × the per-chain burst rate.
+        let est = rig.stage_named("channel-est").unwrap();
+        let fe = rig.stage_named("rf-frontend-0").unwrap();
+        assert!(
+            report.object_invocations[est.0] >= report.object_invocations[fe.0],
+            "estimator {} vs frontend {}",
+            report.object_invocations[est.0],
+            report.object_invocations[fe.0]
+        );
+    }
+
+    #[test]
+    fn crypto_rig_streams_blocks_through_the_engines() {
+        let params = CryptoParams::default();
+        let mut rig = crypto_rig(&params, 4, 8, 2, 2.0);
+        let report = rig.run(40_000);
+        assert!(report.io[0].generated > 10, "{:?}", report.io[0]);
+        assert!(
+            report.io[0].transmitted as f64 > report.io[0].generated as f64 * 0.7,
+            "{:?}",
+            report.io[0]
+        );
+        // Hwip-bound: each payload makes 2 × blocks_per_payload engine
+        // calls (cipher pass + auth pass).
+        assert!(
+            report.hwip_served >= report.io[0].transmitted * params.blocks_per_payload() as u64,
+            "hwip {} vs payloads {}",
+            report.hwip_served,
+            report.io[0].transmitted
+        );
+        assert!(report.energy_per_transmitted(0).unwrap().0 > 0.0);
+    }
+
+    #[test]
+    fn registry_builds_every_standard_rig() {
+        let reg = ScenarioRegistry::standard();
+        assert_eq!(reg.names(), vec!["ipv4", "video", "modem", "crypto"]);
+        for spec in reg.specs() {
+            let mut rig = (spec.build)(true);
+            assert_eq!(
+                rig.placement.len(),
+                rig.app.objects().len(),
+                "{}",
+                spec.name
+            );
+            let report = rig.run(8_000);
+            assert!(report.tasks_completed > 0, "{} must do work", spec.name);
+            assert!(report.energy.0 > 0.0, "{} must burn energy", spec.name);
+        }
+        assert!(reg.build("nope", true).is_none());
+    }
+
+    #[test]
+    fn bind_service_rejects_non_service_nodes() {
+        let mut rig = crypto_rig(&CryptoParams::default(), 4, 8, 2, 2.0);
+        let pe_node = rig.platform.pe_node(0);
+        let err = rig
+            .platform
+            .bind_service(ObjectId(0), pe_node, 8, 8, 1)
+            .unwrap_err();
+        assert_eq!(err, crate::runtime::InstallError::NotAServiceNode(pe_node));
     }
 
     #[test]

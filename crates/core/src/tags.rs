@@ -43,11 +43,15 @@ impl RequestTag {
     /// plausible platform.
     pub fn encode(self) -> u64 {
         assert!(self.pe.0 as u64 <= PE_MASK, "PE index too large for tag");
-        assert!(self.tid.0 as u64 <= TID_MASK, "thread index too large for tag");
-        assert!(self.reply_bytes <= BYTES_MASK, "reply size too large for tag");
-        ((self.pe.0 as u64) << PE_SHIFT)
-            | ((self.tid.0 as u64) << TID_SHIFT)
-            | self.reply_bytes
+        assert!(
+            self.tid.0 as u64 <= TID_MASK,
+            "thread index too large for tag"
+        );
+        assert!(
+            self.reply_bytes <= BYTES_MASK,
+            "reply size too large for tag"
+        );
+        ((self.pe.0 as u64) << PE_SHIFT) | ((self.tid.0 as u64) << TID_SHIFT) | self.reply_bytes
     }
 
     /// Encodes the reply-leg tag (reply flag set).
@@ -111,6 +115,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "PE index too large")]
     fn oversized_pe_panics() {
-        RequestTag { pe: PeId(1 << 20), tid: ThreadId(0), reply_bytes: 0 }.encode();
+        RequestTag {
+            pe: PeId(1 << 20),
+            tid: ThreadId(0),
+            reply_bytes: 0,
+        }
+        .encode();
     }
 }

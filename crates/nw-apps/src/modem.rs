@@ -1,0 +1,204 @@
+//! The modem baseband chain: latency-critical and twoway-heavy.
+//!
+//! Symbol bursts arrive at a fixed air-interface rate and traverse
+//! rf-frontend → sync → demodulate → deinterleave → fec-decode → mac-out.
+//! What distinguishes the shape from packet forwarding is the chatter: the
+//! demodulator queries the channel estimator synchronously (twice per
+//! burst) and the FEC decoder reports link quality to the adaptation
+//! object and waits for the new modulation order — small request/reply
+//! round trips on the critical path, which is exactly the traffic the
+//! paper's multithreaded PEs must hide to hold the air-interface deadline.
+
+use crate::stage::{PipelineSpec, StageDef};
+use nw_dsoc::Domain;
+
+/// Tunable parameters of the modem workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModemParams {
+    /// Parallel carrier chains (one per aggregated carrier).
+    pub carriers: usize,
+    /// Bytes per symbol burst.
+    pub burst_bytes: u64,
+    /// Channel-estimate queries per burst (twoway).
+    pub chan_queries: u32,
+    /// FEC decode compute per burst (the heavy stage).
+    pub fec_cycles: u64,
+}
+
+impl Default for ModemParams {
+    fn default() -> Self {
+        ModemParams {
+            carriers: 2,
+            burst_bytes: 192,
+            chan_queries: 2,
+            fec_cycles: 640,
+        }
+    }
+}
+
+/// Stage indices of one carrier chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModemChain {
+    /// RF front-end (entry stage).
+    pub frontend: usize,
+    /// Timing/frequency sync.
+    pub sync: usize,
+    /// Demodulation (queries the channel estimator).
+    pub demod: usize,
+    /// Deinterleaving.
+    pub deinterleave: usize,
+    /// FEC decoding (queries link adaptation).
+    pub fec: usize,
+    /// MAC hand-off (egress stage).
+    pub mac_out: usize,
+}
+
+/// The built modem workload.
+#[derive(Debug, Clone)]
+pub struct ModemWorkload {
+    /// The stage graph.
+    pub spec: PipelineSpec,
+    /// Per-carrier chains.
+    pub chains: Vec<ModemChain>,
+    /// Shared channel-estimator stage index (twoway).
+    pub channel_est: usize,
+    /// Shared link-adaptation stage index (twoway).
+    pub link_adapt: usize,
+}
+
+/// Builds the modem baseband chain with `params.carriers` carrier chains
+/// sharing one channel estimator and one link-adaptation object.
+///
+/// # Panics
+///
+/// Panics if `params.carriers == 0`.
+pub fn modem_pipeline(params: &ModemParams) -> ModemWorkload {
+    assert!(params.carriers > 0, "modem needs at least one carrier");
+    let mut p = PipelineSpec::new("modem-baseband");
+    let channel_est = p.add_stage(
+        StageDef::new("channel-est", 32)
+            .with_reply(64)
+            .with_compute(90)
+            .with_working_set(256)
+            .with_state(32 * 1024)
+            .with_domain(Domain::Signal),
+    );
+    let link_adapt = p.add_stage(
+        StageDef::new("link-adapt", 16)
+            .with_reply(16)
+            .with_compute(50)
+            .with_state(4 * 1024)
+            .with_domain(Domain::Control),
+    );
+    let mut chains = Vec::with_capacity(params.carriers);
+    for c in 0..params.carriers {
+        let frontend = p.add_stage(
+            StageDef::new(&format!("rf-frontend-{c}"), params.burst_bytes)
+                .with_compute(80)
+                .with_working_set(128)
+                .with_state(4 * 1024)
+                .with_domain(Domain::Signal),
+        );
+        let sync = p.add_stage(
+            StageDef::new(&format!("sync-{c}"), params.burst_bytes)
+                .with_compute(140)
+                .with_working_set(256)
+                .with_state(8 * 1024)
+                .with_domain(Domain::Signal),
+        );
+        let demod = p.add_stage(
+            StageDef::new(&format!("demod-{c}"), params.burst_bytes)
+                .with_compute(320)
+                .with_working_set(512)
+                .with_state(16 * 1024)
+                .with_domain(Domain::Signal),
+        );
+        let deinterleave = p.add_stage(
+            StageDef::new(&format!("deinterleave-{c}"), params.burst_bytes)
+                .with_compute(110)
+                .with_working_set(1024)
+                .with_state(16 * 1024)
+                .with_domain(Domain::Generic),
+        );
+        let fec = p.add_stage(
+            StageDef::new(&format!("fec-decode-{c}"), params.burst_bytes)
+                .with_compute(params.fec_cycles)
+                .with_working_set(2048)
+                .with_state(32 * 1024)
+                .with_domain(Domain::Signal),
+        );
+        let mac_out = p.add_stage(
+            StageDef::new(&format!("mac-out-{c}"), params.burst_bytes / 2)
+                .with_compute(60)
+                .with_working_set(64)
+                .with_state(8 * 1024)
+                .with_domain(Domain::Control),
+        );
+        p.link(frontend, sync, 1.0)
+            .link(sync, demod, 1.0)
+            .link(demod, channel_est, params.chan_queries as f64)
+            .link(demod, deinterleave, 1.0)
+            .link(deinterleave, fec, 1.0)
+            .link(fec, link_adapt, 1.0)
+            .link(fec, mac_out, 1.0)
+            .entry(frontend);
+        chains.push(ModemChain {
+            frontend,
+            sync,
+            demod,
+            deinterleave,
+            fec,
+            mac_out,
+        });
+    }
+    ModemWorkload {
+        spec: p,
+        chains,
+        channel_est,
+        link_adapt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let w = modem_pipeline(&ModemParams::default());
+        assert_eq!(w.chains.len(), 2);
+        assert_eq!(w.spec.n_stages(), 2 + 2 * 6);
+        let (app, layout) = w.spec.to_application().unwrap();
+        assert_eq!(app.objects().len(), w.spec.n_stages());
+        assert!(layout.services.is_empty(), "modem runs entirely on PEs");
+    }
+
+    #[test]
+    fn twoway_heavy() {
+        let w = modem_pipeline(&ModemParams::default());
+        // Per burst: 2 chan queries + 1 link-adapt report are twoway; 5
+        // chain hand-offs are oneway → 3/8.
+        assert!(
+            w.spec.twoway_fraction() > 0.3,
+            "{}",
+            w.spec.twoway_fraction()
+        );
+    }
+
+    #[test]
+    fn shared_estimator_sees_all_carriers() {
+        let w = modem_pipeline(&ModemParams::default());
+        let rates = w.spec.stage_rates(&[0.001; 2]);
+        assert!((rates[w.channel_est] - 0.004).abs() < 1e-12);
+        assert!((rates[w.link_adapt] - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one carrier")]
+    fn zero_carriers_panics() {
+        modem_pipeline(&ModemParams {
+            carriers: 0,
+            ..ModemParams::default()
+        });
+    }
+}

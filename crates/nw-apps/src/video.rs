@@ -1,0 +1,196 @@
+//! The §7.1 video codec pipeline: frame-sliced and memory-bound.
+//!
+//! Each frame is cut into `lanes` independent slices; every slice traverses
+//! ingest → motion-estimate → transform/quantize → entropy-code → pack. The
+//! motion estimator is the memory-bound stage: per slice it fetches
+//! reference-frame windows from a shared memory macro across the NoC
+//! (synchronous reads the hardware threads must hide). The entropy coder —
+//! an arithmetic-coding stage in the spirit of distributed arithmetic
+//! coding (DALC) — compresses 2:1 and consults a shared rate-control
+//! object, the only cross-lane coupling, before the packer emits the
+//! bitstream.
+
+use crate::stage::{PipelineSpec, ServiceDemand, ServiceKind, StageDef};
+use nw_dsoc::Domain;
+
+/// Tunable parameters of the video workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VideoParams {
+    /// Parallel slice lanes (slices per frame).
+    pub lanes: usize,
+    /// Bytes per slice arriving from the line.
+    pub slice_bytes: u64,
+    /// Motion-estimation compute per slice (baseline cycles).
+    pub me_cycles: u64,
+    /// Reference-window fetches per slice against the frame store.
+    pub ref_fetches: u32,
+    /// Bytes returned per reference-window fetch.
+    pub ref_window_bytes: u64,
+}
+
+impl Default for VideoParams {
+    fn default() -> Self {
+        VideoParams {
+            lanes: 4,
+            slice_bytes: 960,
+            me_cycles: 600,
+            ref_fetches: 4,
+            ref_window_bytes: 256,
+        }
+    }
+}
+
+/// Stage indices of one slice lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VideoLane {
+    /// Slice ingest (entry stage).
+    pub ingest: usize,
+    /// Motion estimation (memory-bound).
+    pub motion_est: usize,
+    /// Transform + quantization.
+    pub transform: usize,
+    /// Entropy (arithmetic) coding.
+    pub entropy: usize,
+    /// Bitstream packing (egress stage).
+    pub pack: usize,
+}
+
+/// The built video workload: the pipeline plus its notable stage indices.
+#[derive(Debug, Clone)]
+pub struct VideoWorkload {
+    /// The stage graph.
+    pub spec: PipelineSpec,
+    /// Per-lane stage indices.
+    pub lanes: Vec<VideoLane>,
+    /// The shared rate-control stage index.
+    pub rate_control: usize,
+}
+
+/// Builds the frame-sliced video pipeline with `params.lanes` lanes.
+///
+/// # Panics
+///
+/// Panics if `params.lanes == 0`.
+pub fn video_pipeline(params: &VideoParams) -> VideoWorkload {
+    assert!(params.lanes > 0, "video pipeline needs at least one lane");
+    let mut p = PipelineSpec::new("video-codec");
+    // Shared rate control: a small twoway service every entropy coder
+    // queries once per slice (the cross-lane bottleneck object).
+    let rate_control = p.add_stage(
+        StageDef::new("rate-control", 8)
+            .with_reply(8)
+            .with_compute(30)
+            .with_state(16 * 1024)
+            .with_domain(Domain::Control),
+    );
+    let mut lanes = Vec::with_capacity(params.lanes);
+    for l in 0..params.lanes {
+        let ingest = p.add_stage(
+            StageDef::new(&format!("slice-ingest-{l}"), params.slice_bytes)
+                .with_compute(90)
+                .with_working_set(64)
+                .with_state(8 * 1024)
+                .with_domain(Domain::Control),
+        );
+        let motion_est = p.add_stage(
+            StageDef::new(&format!("motion-est-{l}"), params.slice_bytes)
+                .with_compute(params.me_cycles)
+                .with_working_set(2048)
+                .with_state(64 * 1024)
+                .with_domain(Domain::Signal)
+                .with_service(ServiceDemand {
+                    kind: ServiceKind::Memory,
+                    request_bytes: 16,
+                    reply_bytes: params.ref_window_bytes,
+                    calls_per_item: params.ref_fetches,
+                }),
+        );
+        let transform = p.add_stage(
+            StageDef::new(&format!("xform-quant-{l}"), params.slice_bytes)
+                .with_compute(380)
+                .with_working_set(1024)
+                .with_state(16 * 1024)
+                .with_domain(Domain::Signal),
+        );
+        let entropy = p.add_stage(
+            StageDef::new(&format!("entropy-code-{l}"), params.slice_bytes)
+                .with_compute(460)
+                .with_working_set(512)
+                .with_state(32 * 1024)
+                .with_domain(Domain::Generic),
+        );
+        let pack = p.add_stage(
+            StageDef::new(&format!("pack-{l}"), params.slice_bytes / 2)
+                .with_compute(70)
+                .with_working_set(128)
+                .with_state(8 * 1024)
+                .with_domain(Domain::Control),
+        );
+        p.link(ingest, motion_est, 1.0)
+            .link(motion_est, transform, 1.0)
+            .link(transform, entropy, 1.0)
+            .link(entropy, rate_control, 1.0)
+            .link(entropy, pack, 1.0)
+            .entry(ingest);
+        lanes.push(VideoLane {
+            ingest,
+            motion_est,
+            transform,
+            entropy,
+            pack,
+        });
+    }
+    VideoWorkload {
+        spec: p,
+        lanes,
+        rate_control,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_per_lane() {
+        let w = video_pipeline(&VideoParams::default());
+        assert_eq!(w.lanes.len(), 4);
+        assert_eq!(w.spec.n_stages(), 1 + 4 * 5);
+        assert_eq!(w.spec.entries.len(), 4);
+        let (app, layout) = w.spec.to_application().unwrap();
+        assert_eq!(app.objects().len(), w.spec.n_stages());
+        // Exactly one memory-bound stage per lane.
+        assert_eq!(layout.services.len(), 4);
+        assert!(layout
+            .services
+            .iter()
+            .all(|(_, d)| d.kind == ServiceKind::Memory));
+    }
+
+    #[test]
+    fn rate_control_is_shared_across_lanes() {
+        let w = video_pipeline(&VideoParams {
+            lanes: 3,
+            ..VideoParams::default()
+        });
+        let rates = w.spec.stage_rates(&[0.001; 3]);
+        // Each lane's entropy stage queries rate control once per slice.
+        assert!((rates[w.rate_control] - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_is_mostly_oneway() {
+        let w = video_pipeline(&VideoParams::default());
+        // Only the rate-control query replies: 1 of 5 links per lane.
+        assert!((w.spec.twoway_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_panics() {
+        video_pipeline(&VideoParams {
+            lanes: 0,
+            ..VideoParams::default()
+        });
+    }
+}

@@ -455,7 +455,11 @@ impl Application {
             }
         }
         let index = |o: ObjectId, m: MethodId, objs: &[ObjectDef]| -> usize {
-            objs.iter().take(o.0).map(|x| x.methods.len()).sum::<usize>() + m.0 as usize
+            objs.iter()
+                .take(o.0)
+                .map(|x| x.methods.len())
+                .sum::<usize>()
+                + m.0 as usize
         };
         let mut indeg = vec![0usize; nodes.len()];
         for e in &self.edges {
@@ -466,10 +470,8 @@ impl Application {
         while let Some(i) = q.pop_front() {
             seen += 1;
             let (o, m) = nodes[i];
-            let outs: Vec<(ObjectId, MethodId)> = self
-                .calls_from(o, m)
-                .map(|e| (e.to, e.to_method))
-                .collect();
+            let outs: Vec<(ObjectId, MethodId)> =
+                self.calls_from(o, m).map(|e| (e.to, e.to_method)).collect();
             for (to, tm) in outs {
                 let j = index(to, tm, &self.objects);
                 indeg[j] -= 1;
@@ -488,15 +490,15 @@ mod tests {
 
     fn three_stage() -> Application {
         let mut b = Application::builder("3stage");
-        let a = b.add_object(ObjectDef::new("a").with_method(
-            MethodDef::oneway("in", 40).with_compute(100),
-        ));
-        let m = b.add_object(ObjectDef::new("b").with_method(
-            MethodDef::twoway("lookup", 8, 16).with_compute(60),
-        ));
-        let z = b.add_object(ObjectDef::new("c").with_method(
-            MethodDef::oneway("out", 40).with_compute(30),
-        ));
+        let a = b.add_object(
+            ObjectDef::new("a").with_method(MethodDef::oneway("in", 40).with_compute(100)),
+        );
+        let m = b.add_object(
+            ObjectDef::new("b").with_method(MethodDef::twoway("lookup", 8, 16).with_compute(60)),
+        );
+        let z = b.add_object(
+            ObjectDef::new("c").with_method(MethodDef::oneway("out", 40).with_compute(30)),
+        );
         b.connect(a, 0, m, 0, 1.0);
         b.connect(a, 0, z, 0, 1.0);
         b.entry(a, 0);
@@ -549,7 +551,10 @@ mod tests {
         let a = b.add_object(ObjectDef::new("a").with_method(MethodDef::oneway("x", 8)));
         b.connect(a, 0, ObjectId(9), 0, 1.0);
         b.entry(a, 0);
-        assert_eq!(b.build().unwrap_err(), BuildAppError::UnknownObject(ObjectId(9)));
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildAppError::UnknownObject(ObjectId(9))
+        );
 
         let mut b = Application::builder("bad2");
         let a = b.add_object(ObjectDef::new("a").with_method(MethodDef::oneway("x", 8)));

@@ -96,7 +96,11 @@ pub enum ParseIdlError {
 impl fmt::Display for ParseIdlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseIdlError::Unexpected { line, got, expected } => {
+            ParseIdlError::Unexpected {
+                line,
+                got,
+                expected,
+            } => {
                 write!(f, "line {line}: expected {expected}, got '{got}'")
             }
             ParseIdlError::UnexpectedEnd { expected } => {
@@ -149,7 +153,10 @@ fn tokenize(src: &str) -> Vec<Token> {
         let mut cur = String::new();
         let flush = |cur: &mut String, out: &mut Vec<Token>| {
             if !cur.is_empty() {
-                out.push(Token { text: std::mem::take(cur), line });
+                out.push(Token {
+                    text: std::mem::take(cur),
+                    line,
+                });
             }
         };
         let mut chars = code.chars().peekable();
@@ -165,12 +172,18 @@ fn tokenize(src: &str) -> Vec<Token> {
                 }
                 '{' | '}' | '(' | ')' | ';' | '.' => {
                     flush(&mut cur, &mut out);
-                    out.push(Token { text: c.to_string(), line });
+                    out.push(Token {
+                        text: c.to_string(),
+                        line,
+                    });
                 }
                 '-' if chars.peek() == Some(&'>') => {
                     chars.next();
                     flush(&mut cur, &mut out);
-                    out.push(Token { text: "->".to_string(), line });
+                    out.push(Token {
+                        text: "->".to_string(),
+                        line,
+                    });
                 }
                 _ => cur.push(c),
             }
@@ -333,8 +346,7 @@ pub fn parse_application(src: &str) -> Result<Application, ParseIdlError> {
                                                 return Err(ParseIdlError::Unexpected {
                                                     line: d.line,
                                                     got: other.to_string(),
-                                                    expected:
-                                                        "control|signal|packet|generic",
+                                                    expected: "control|signal|packet|generic",
                                                 })
                                             }
                                         };
@@ -404,10 +416,12 @@ fn parse_ref(
     objects: &HashMap<String, (ObjectId, HashMap<String, u16>)>,
 ) -> Result<(ObjectId, u16), ParseIdlError> {
     let obj_t = p.ident("object name")?;
-    let (id, methods) = objects.get(&obj_t.text).ok_or(ParseIdlError::UnknownObject {
-        line: obj_t.line,
-        name: obj_t.text.clone(),
-    })?;
+    let (id, methods) = objects
+        .get(&obj_t.text)
+        .ok_or(ParseIdlError::UnknownObject {
+            line: obj_t.line,
+            name: obj_t.text.clone(),
+        })?;
     p.expect(".")?;
     let m_t = p.ident("method name")?;
     let m = methods.get(&m_t.text).ok_or(ParseIdlError::UnknownMethod {
@@ -472,7 +486,10 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            ParseIdlError::UnknownObject { line: 2, name: "ghost".into() }
+            ParseIdlError::UnknownObject {
+                line: 2,
+                name: "ghost".into()
+            }
         );
     }
 
@@ -487,8 +504,8 @@ mod tests {
 
     #[test]
     fn duplicate_object_rejected() {
-        let err = parse_application("object a { oneway m(8); } object a { oneway m(8); }")
-            .unwrap_err();
+        let err =
+            parse_application("object a { oneway m(8); } object a { oneway m(8); }").unwrap_err();
         assert!(matches!(err, ParseIdlError::DuplicateObject { .. }));
     }
 
@@ -520,10 +537,8 @@ mod tests {
 
     #[test]
     fn comments_and_whitespace_are_free() {
-        let app = parse_application(
-            "# header\nobject a{oneway m(8);}# trailing\n\n   entry a.m ;",
-        )
-        .unwrap();
+        let app = parse_application("# header\nobject a{oneway m(8);}# trailing\n\n   entry a.m ;")
+            .unwrap();
         assert_eq!(app.objects().len(), 1);
     }
 
@@ -537,10 +552,7 @@ mod tests {
 
     #[test]
     fn twoway_without_reply_size_defaults_to_one() {
-        let app = parse_application(
-            "object a { twoway m(8); } entry a.m;",
-        )
-        .unwrap();
+        let app = parse_application("object a { twoway m(8); } entry a.m;").unwrap();
         assert!(app.objects()[0].methods[0].is_twoway());
     }
 }

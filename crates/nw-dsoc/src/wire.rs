@@ -75,7 +75,10 @@ impl fmt::Display for DecodeError {
             DecodeError::BadKind(b) => write!(f, "unknown message kind {b}"),
             DecodeError::BadReserved(b) => write!(f, "reserved byte must be 0, got {b}"),
             DecodeError::LengthMismatch { declared, actual } => {
-                write!(f, "declared body length {declared} but {actual} bytes present")
+                write!(
+                    f,
+                    "declared body length {declared} but {actual} bytes present"
+                )
             }
         }
     }
@@ -236,13 +239,21 @@ mod tests {
         b.pop();
         assert_eq!(
             Message::decode(&b),
-            Err(DecodeError::LengthMismatch { declared: 3, actual: 2 })
+            Err(DecodeError::LengthMismatch {
+                declared: 3,
+                actual: 2
+            })
         );
     }
 
     #[test]
     fn header_layout_is_stable() {
-        let m = Message::invocation(ObjectId(0x01020304), MethodId(0x0506), 0x0708090A, vec![0xFF]);
+        let m = Message::invocation(
+            ObjectId(0x01020304),
+            MethodId(0x0506),
+            0x0708090A,
+            vec![0xFF],
+        );
         let b = m.encode();
         assert_eq!(b[0], 1);
         assert_eq!(&b[2..6], &[0x04, 0x03, 0x02, 0x01]);

@@ -142,13 +142,19 @@ mod tests {
             .map(|s| s.product_nre(NODE, FAMILY).0)
             .collect();
         for w in nres.windows(2) {
-            assert!(w[0] < w[1], "NRE must increase along the continuum: {nres:?}");
+            assert!(
+                w[0] < w[1],
+                "NRE must increase along the continuum: {nres:?}"
+            );
         }
     }
 
     #[test]
     fn unit_cost_ordering_is_inverse() {
-        let units: Vec<f64> = ImplStyle::ALL.iter().map(|s| s.unit_cost_factor()).collect();
+        let units: Vec<f64> = ImplStyle::ALL
+            .iter()
+            .map(|s| s.unit_cost_factor())
+            .collect();
         for w in units.windows(2) {
             assert!(w[0] > w[1], "unit cost must fall along the continuum");
         }
@@ -178,7 +184,10 @@ mod tests {
         for w in ImplStyle::ALL.windows(2) {
             let v = crossover_volume(w[0], w[1], NODE, FAMILY, unit)
                 .unwrap_or_else(|| panic!("{} vs {} must cross", w[0], w[1]));
-            assert!(v > last, "crossovers must move to higher volumes: {v} after {last}");
+            assert!(
+                v > last,
+                "crossovers must move to higher volumes: {v} after {last}"
+            );
             last = v;
         }
     }
@@ -193,13 +202,9 @@ mod tests {
     #[test]
     fn no_crossover_when_dominated() {
         // Comparing a style with itself: no crossing.
-        assert!(crossover_volume(
-            ImplStyle::Fpga,
-            ImplStyle::Fpga,
-            NODE,
-            FAMILY,
-            Dollars(5.0)
-        )
-        .is_none());
+        assert!(
+            crossover_volume(ImplStyle::Fpga, ImplStyle::Fpga, NODE, FAMILY, Dollars(5.0))
+                .is_none()
+        );
     }
 }

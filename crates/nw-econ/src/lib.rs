@@ -24,7 +24,9 @@ pub mod productivity;
 pub mod wire;
 
 pub use continuum::{crossover_volume, ImplStyle};
-pub use growth::{hw_design_effort, hw_transistors, risc_cores_in, sw_complexity, sw_overtakes_hw_year};
+pub use growth::{
+    hw_design_effort, hw_transistors, risc_cores_in, sw_complexity, sw_overtakes_hw_year,
+};
 pub use nre::{break_even_volume, design_nre, mask_set_nre};
 pub use productivity::{evolutionary_peak, evolutionary_productivity, platform_productivity};
 pub use wire::{cross_chip_delay_cycles, wire_delay_ps_per_mm};

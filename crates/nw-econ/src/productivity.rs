@@ -62,7 +62,10 @@ mod tests {
         let p90 = evolutionary_productivity(TechNode::N90);
         let p65 = evolutionary_productivity(TechNode::N65);
         let p45 = evolutionary_productivity(TechNode::N45);
-        assert!(p90 < p130 * 1.0, "90nm ({p90}) should not beat 130nm ({p130})");
+        assert!(
+            p90 < p130 * 1.0,
+            "90nm ({p90}) should not beat 130nm ({p130})"
+        );
         assert!(p65 < p90);
         assert!(p45 < p65);
     }
@@ -84,7 +87,12 @@ mod tests {
 
     #[test]
     fn curves_agree_above_130nm() {
-        for n in [TechNode::N350, TechNode::N250, TechNode::N180, TechNode::N130] {
+        for n in [
+            TechNode::N350,
+            TechNode::N250,
+            TechNode::N180,
+            TechNode::N130,
+        ] {
             let a = evolutionary_productivity(n);
             let b = platform_productivity(n);
             assert!((a - b).abs() < 1e-6, "{n}: {a} vs {b}");

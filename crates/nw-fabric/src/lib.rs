@@ -361,13 +361,18 @@ mod tests {
 
     #[test]
     fn kernel_too_big_is_rejected() {
-        let mut small = FabricSpec::default();
-        small.luts = 1_000;
+        let small = FabricSpec {
+            luts: 1_000,
+            ..FabricSpec::default()
+        };
         let k = KernelSpec::crypto_round();
         let err = MappedKernel::try_map(&k, &small).unwrap_err();
         assert_eq!(
             err,
-            MapKernelError::DoesNotFit { needed: 9_000, available: 1_000 }
+            MapKernelError::DoesNotFit {
+                needed: 9_000,
+                available: 1_000
+            }
         );
         let mut e = Efpga::new(small);
         assert!(e.reconfigure(&k, Cycles(0)).is_err());
@@ -385,7 +390,10 @@ mod tests {
         let k = KernelSpec::checksum_offload();
         e.reconfigure(&k, Cycles(0)).unwrap();
         let downtime = e.spec().reconfig_cycles(k.luts).0;
-        assert!(downtime > 1_000, "bitstream load should be slow: {downtime}");
+        assert!(
+            downtime > 1_000,
+            "bitstream load should be slow: {downtime}"
+        );
         e.try_submit(1, Cycles(0)).unwrap();
         // Nothing completes before the bitstream finishes loading.
         let early = drive(&mut e, 0, downtime / 2);
@@ -414,8 +422,10 @@ mod tests {
     #[test]
     fn second_reconfig_replaces_kernel() {
         let mut e = Efpga::new(FabricSpec::default());
-        e.reconfigure(&KernelSpec::checksum_offload(), Cycles(0)).unwrap();
-        e.reconfigure(&KernelSpec::header_classify(), Cycles(100)).unwrap();
+        e.reconfigure(&KernelSpec::checksum_offload(), Cycles(0))
+            .unwrap();
+        e.reconfigure(&KernelSpec::header_classify(), Cycles(100))
+            .unwrap();
         assert_eq!(e.kernel().unwrap().name, "header-classify");
         assert_eq!(e.reconfig_count(), 2);
     }

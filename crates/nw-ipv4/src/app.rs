@@ -151,7 +151,7 @@ mod tests {
         let lookup = layouts[0].lookup;
         assert!(layouts.iter().all(|l| l.lookup == lookup));
         // Lookup rate = sum of all entry rates.
-        let rates = app.invocation_rates(&vec![0.01; 4]);
+        let rates = app.invocation_rates(&[0.01; 4]);
         assert!((rates[lookup.0][0] - 0.04).abs() < 1e-12);
     }
 

@@ -202,9 +202,7 @@ impl Ipv4Header {
         let old_word = u16::from_be_bytes([self.ttl, self.protocol]);
         self.ttl -= 1;
         let new_word = u16::from_be_bytes([self.ttl, self.protocol]);
-        let mut sum = u32::from(!self.checksum)
-            + u32::from(!old_word)
-            + u32::from(new_word);
+        let mut sum = u32::from(!self.checksum) + u32::from(!old_word) + u32::from(new_word);
         while sum > 0xFFFF {
             sum = (sum & 0xFFFF) + (sum >> 16);
         }

@@ -34,7 +34,10 @@ impl Prefix {
     /// Panics if `len > 32`.
     pub fn new(addr: u32, len: u8) -> Self {
         assert!(len <= 32, "prefix length {len} exceeds 32");
-        Prefix { addr: addr & Self::mask(len), len }
+        Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        }
     }
 
     /// Network mask for a prefix length.

@@ -84,7 +84,10 @@ mod tests {
     #[test]
     fn generates_requested_count() {
         let mut t = LinearTable::new();
-        let cfg = RouteTableConfig { routes: 500, seed: 1 };
+        let cfg = RouteTableConfig {
+            routes: 500,
+            seed: 1,
+        };
         let ps = synthetic_table(&mut t, &cfg);
         assert_eq!(ps.len(), 500);
         assert_eq!(t.route_count(), 500);
@@ -93,7 +96,10 @@ mod tests {
     #[test]
     fn distribution_peaks_at_24() {
         let mut t = LinearTable::new();
-        let cfg = RouteTableConfig { routes: 4000, seed: 2 };
+        let cfg = RouteTableConfig {
+            routes: 4000,
+            seed: 2,
+        };
         let ps = synthetic_table(&mut t, &cfg);
         let n24 = ps.iter().filter(|p| p.len == 24).count();
         let n16 = ps.iter().filter(|p| p.len == 16).count();
@@ -116,7 +122,13 @@ mod tests {
     #[test]
     fn lookups_hit_generated_prefixes() {
         let mut t = LinearTable::new();
-        let ps = synthetic_table(&mut t, &RouteTableConfig { routes: 200, seed: 3 });
+        let ps = synthetic_table(
+            &mut t,
+            &RouteTableConfig {
+                routes: 200,
+                seed: 3,
+            },
+        );
         for p in ps.iter().take(50) {
             assert!(t.lookup(p.addr).is_some(), "prefix {p} must be routable");
         }

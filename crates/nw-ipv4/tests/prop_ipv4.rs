@@ -1,9 +1,7 @@
 //! Property tests for the IPv4 substrate: header codec integrity, the
 //! RFC 1624 incremental checksum, and LPM engine equivalence.
 
-use nw_ipv4::{
-    BinaryTrie, CamTable, Ipv4Header, LinearTable, LpmTable, MultibitTrie, Prefix,
-};
+use nw_ipv4::{BinaryTrie, CamTable, Ipv4Header, LinearTable, LpmTable, MultibitTrie, Prefix};
 use proptest::prelude::*;
 
 fn arb_header() -> impl Strategy<Value = Ipv4Header> {
@@ -17,23 +15,21 @@ fn arb_header() -> impl Strategy<Value = Ipv4Header> {
         any::<u32>(),
         any::<u32>(),
     )
-        .prop_map(
-            |(dscp, total, id, frag, ttl, proto, src, dst)| {
-                let mut h = Ipv4Header {
-                    dscp_ecn: dscp,
-                    total_length: total,
-                    identification: id,
-                    flags_fragment: frag,
-                    ttl,
-                    protocol: proto,
-                    checksum: 0,
-                    src,
-                    dst,
-                };
-                h.refresh_checksum();
-                h
-            },
-        )
+        .prop_map(|(dscp, total, id, frag, ttl, proto, src, dst)| {
+            let mut h = Ipv4Header {
+                dscp_ecn: dscp,
+                total_length: total,
+                identification: id,
+                flags_fragment: frag,
+                ttl,
+                protocol: proto,
+                checksum: 0,
+                src,
+                dst,
+            };
+            h.refresh_checksum();
+            h
+        })
 }
 
 proptest! {

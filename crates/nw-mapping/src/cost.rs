@@ -26,7 +26,10 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { alpha: 1.0, beta: 0.05 }
+        CostModel {
+            alpha: 1.0,
+            beta: 0.05,
+        }
     }
 }
 
@@ -86,12 +89,12 @@ mod tests {
 
     fn problem() -> MappingProblem {
         let mut b = Application::builder("t");
-        let a = b.add_object(ObjectDef::new("a").with_method(
-            MethodDef::oneway("x", 32).with_compute(100),
-        ));
-        let c = b.add_object(ObjectDef::new("c").with_method(
-            MethodDef::oneway("y", 32).with_compute(100),
-        ));
+        let a = b.add_object(
+            ObjectDef::new("a").with_method(MethodDef::oneway("x", 32).with_compute(100)),
+        );
+        let c = b.add_object(
+            ObjectDef::new("c").with_method(MethodDef::oneway("y", 32).with_compute(100)),
+        );
         b.connect(a, 0, c, 0, 1.0);
         b.entry(a, 0);
         MappingProblem::new(
@@ -119,8 +122,14 @@ mod tests {
     #[test]
     fn weights_steer_the_total() {
         let p = problem();
-        let load_only = CostModel { alpha: 1.0, beta: 0.0 };
-        let comm_only = CostModel { alpha: 0.0, beta: 1.0 };
+        let load_only = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+        };
+        let comm_only = CostModel {
+            alpha: 0.0,
+            beta: 1.0,
+        };
         assert!(load_only.evaluate(&p, &[0, 1]).total < load_only.evaluate(&p, &[0, 0]).total);
         assert!(comm_only.evaluate(&p, &[0, 0]).total < comm_only.evaluate(&p, &[0, 1]).total);
     }
@@ -128,9 +137,9 @@ mod tests {
     #[test]
     fn capacity_scales_load() {
         let mut b = Application::builder("t");
-        let a = b.add_object(ObjectDef::new("a").with_method(
-            MethodDef::oneway("x", 8).with_compute(100),
-        ));
+        let a = b.add_object(
+            ObjectDef::new("a").with_method(MethodDef::oneway("x", 8).with_compute(100)),
+        );
         b.entry(a, 0);
         let p = MappingProblem::new(
             b.build().unwrap(),

@@ -220,7 +220,9 @@ pub struct ExhaustiveMapper {
 
 impl Default for ExhaustiveMapper {
     fn default() -> Self {
-        ExhaustiveMapper { max_candidates: 10_000_000 }
+        ExhaustiveMapper {
+            max_candidates: 10_000_000,
+        }
     }
 }
 
@@ -325,8 +327,14 @@ mod tests {
         let greedy = GreedyLoadMapper.map(&p).cost.total;
         let sa = SimulatedAnnealingMapper::default().map(&p).cost.total;
         let optimal = ExhaustiveMapper::default().map(&p).cost.total;
-        assert!(sa <= greedy + 1e-9, "SA {sa} must not lose to greedy {greedy}");
-        assert!(sa <= random + 1e-9, "SA {sa} must not lose to random {random}");
+        assert!(
+            sa <= greedy + 1e-9,
+            "SA {sa} must not lose to greedy {greedy}"
+        );
+        assert!(
+            sa <= random + 1e-9,
+            "SA {sa} must not lose to random {random}"
+        );
         assert!(optimal <= sa + 1e-9, "optimal {optimal} bounds SA {sa}");
         // SA should get within 5% of optimal on this small instance.
         assert!(sa <= optimal * 1.05 + 1e-9, "SA {sa} vs optimal {optimal}");
@@ -355,7 +363,11 @@ mod tests {
         .unwrap();
         let m = GreedyLoadMapper.map(&p);
         let on0 = m.placement.iter().filter(|&&x| x == 0).count();
-        assert_eq!(on0, 2, "greedy must split 4 equal objects 2/2: {:?}", m.placement);
+        assert_eq!(
+            on0, 2,
+            "greedy must split 4 equal objects 2/2: {:?}",
+            m.placement
+        );
     }
 
     #[test]

@@ -162,12 +162,12 @@ mod tests {
 
     fn app2() -> Application {
         let mut b = Application::builder("t");
-        let a = b.add_object(ObjectDef::new("a").with_method(
-            MethodDef::oneway("x", 8).with_compute(10),
-        ));
-        let c = b.add_object(ObjectDef::new("c").with_method(
-            MethodDef::oneway("y", 8).with_compute(20),
-        ));
+        let a = b.add_object(
+            ObjectDef::new("a").with_method(MethodDef::oneway("x", 8).with_compute(10)),
+        );
+        let c = b.add_object(
+            ObjectDef::new("c").with_method(MethodDef::oneway("y", 8).with_compute(20)),
+        );
         b.connect(a, 0, c, 0, 1.0);
         b.entry(a, 0);
         b.build().unwrap()
@@ -200,14 +200,12 @@ mod tests {
             BuildProblemError::NoPes
         );
         assert_eq!(
-            MappingProblem::new(
-                app2(),
-                vec![],
-                vec![PeSlot::new(NodeId(0), 1.0)],
-                hops2()
-            )
-            .unwrap_err(),
-            BuildProblemError::RateCountMismatch { provided: 0, expected: 1 }
+            MappingProblem::new(app2(), vec![], vec![PeSlot::new(NodeId(0), 1.0)], hops2())
+                .unwrap_err(),
+            BuildProblemError::RateCountMismatch {
+                provided: 0,
+                expected: 1
+            }
         );
         assert_eq!(
             MappingProblem::new(

@@ -13,10 +13,10 @@ use proptest::prelude::*;
 /// matrix problem.
 fn arb_problem() -> impl Strategy<Value = MappingProblem> {
     (
-        2usize..10,                                      // objects
-        2usize..6,                                       // PEs
-        prop::collection::vec(10u64..300, 2..10),        // compute weights
-        0.0005f64..0.01,                                 // entry rate
+        2usize..10,                               // objects
+        2usize..6,                                // PEs
+        prop::collection::vec(10u64..300, 2..10), // compute weights
+        0.0005f64..0.01,                          // entry rate
     )
         .prop_map(|(n_obj, n_pes, weights, rate)| {
             let n_obj = n_obj.min(weights.len());

@@ -93,10 +93,14 @@ impl Cache {
     /// Panics if the configuration is degenerate (zero lines, non-power-of-
     /// two line size, or capacity not divisible into sets).
     pub fn new(cfg: CacheConfig, backing: MemorySpec) -> Self {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.ways >= 1, "need at least one way");
         assert!(
-            cfg.capacity_bytes % (cfg.line_bytes * cfg.ways as u64) == 0,
+            cfg.capacity_bytes
+                .is_multiple_of(cfg.line_bytes * cfg.ways as u64),
             "capacity must divide into sets"
         );
         let sets = cfg.sets();
@@ -105,7 +109,12 @@ impl Cache {
             cfg,
             backing,
             lines: vec![
-                Line { tag: 0, valid: false, dirty: false, lru: 0 };
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    lru: 0
+                };
                 (sets as usize) * cfg.ways
             ],
             stamp: 0,
@@ -223,7 +232,10 @@ mod tests {
     use crate::model::MemoryTechnology;
 
     fn cache() -> Cache {
-        Cache::new(CacheConfig::l1_16k(), MemorySpec::of(MemoryTechnology::Edram))
+        Cache::new(
+            CacheConfig::l1_16k(),
+            MemorySpec::of(MemoryTechnology::Edram),
+        )
     }
 
     #[test]
@@ -232,7 +244,11 @@ mod tests {
         assert_eq!(c.access(0x100, false), Access::Miss { writeback: false });
         assert_eq!(c.access(0x100, false), Access::Hit);
         assert_eq!(c.access(0x104, false), Access::Hit, "same line");
-        assert_eq!(c.access(0x100 + 32, false), Access::Miss { writeback: false }, "next line");
+        assert_eq!(
+            c.access(0x100 + 32, false),
+            Access::Miss { writeback: false },
+            "next line"
+        );
         assert!((c.hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -289,7 +305,11 @@ mod tests {
 
     #[test]
     fn direct_mapped_conflicts() {
-        let cfg = CacheConfig { capacity_bytes: 1024, line_bytes: 32, ways: 1 };
+        let cfg = CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 32,
+            ways: 1,
+        };
         let mut c = Cache::new(cfg, MemorySpec::of(MemoryTechnology::Edram));
         let stride = cfg.sets() * cfg.line_bytes;
         // Two addresses mapping to the same set thrash a direct-mapped cache.
@@ -303,7 +323,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_line_size_panics() {
-        let cfg = CacheConfig { capacity_bytes: 1024, line_bytes: 33, ways: 1 };
+        let cfg = CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 33,
+            ways: 1,
+        };
         let _ = Cache::new(cfg, MemorySpec::of(MemoryTechnology::Sram));
     }
 }

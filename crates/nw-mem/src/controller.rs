@@ -258,7 +258,12 @@ mod tests {
     fn single_read_completes_with_correct_timing() {
         let mut ctl = sram(1);
         ctl.submit(
-            MemRequest { id: 7, kind: ReqKind::Read, addr: 0, bytes: 64 },
+            MemRequest {
+                id: 7,
+                kind: ReqKind::Read,
+                addr: 0,
+                bytes: 64,
+            },
             Cycles(0),
         )
         .unwrap();
@@ -274,17 +279,46 @@ mod tests {
     fn same_bank_serializes_different_banks_overlap() {
         // Two 64-byte reads to the same bank take ~2x one read.
         let mut same = sram(4);
-        same.submit(MemRequest { id: 1, kind: ReqKind::Read, addr: 0, bytes: 64 }, Cycles(0))
-            .unwrap();
-        same.submit(MemRequest { id: 2, kind: ReqKind::Read, addr: 0, bytes: 64 }, Cycles(0))
-            .unwrap();
+        same.submit(
+            MemRequest {
+                id: 1,
+                kind: ReqKind::Read,
+                addr: 0,
+                bytes: 64,
+            },
+            Cycles(0),
+        )
+        .unwrap();
+        same.submit(
+            MemRequest {
+                id: 2,
+                kind: ReqKind::Read,
+                addr: 0,
+                bytes: 64,
+            },
+            Cycles(0),
+        )
+        .unwrap();
         let t_same = run_until(&mut same, 2, 200).last().unwrap().completed_at;
 
         let mut diff = sram(4);
-        diff.submit(MemRequest { id: 1, kind: ReqKind::Read, addr: 0, bytes: 64 }, Cycles(0))
-            .unwrap();
         diff.submit(
-            MemRequest { id: 2, kind: ReqKind::Read, addr: MemoryController::INTERLEAVE, bytes: 64 },
+            MemRequest {
+                id: 1,
+                kind: ReqKind::Read,
+                addr: 0,
+                bytes: 64,
+            },
+            Cycles(0),
+        )
+        .unwrap();
+        diff.submit(
+            MemRequest {
+                id: 2,
+                kind: ReqKind::Read,
+                addr: MemoryController::INTERLEAVE,
+                bytes: 64,
+            },
             Cycles(0),
         )
         .unwrap();
@@ -299,11 +333,27 @@ mod tests {
     fn queue_full_backpressure() {
         let mut ctl = MemoryController::new(MemorySpec::of(MemoryTechnology::Sram), 1, 2);
         for id in 0..2 {
-            ctl.submit(MemRequest { id, kind: ReqKind::Read, addr: 0, bytes: 8 }, Cycles(0))
-                .unwrap();
+            ctl.submit(
+                MemRequest {
+                    id,
+                    kind: ReqKind::Read,
+                    addr: 0,
+                    bytes: 8,
+                },
+                Cycles(0),
+            )
+            .unwrap();
         }
         let err = ctl
-            .submit(MemRequest { id: 9, kind: ReqKind::Read, addr: 0, bytes: 8 }, Cycles(0))
+            .submit(
+                MemRequest {
+                    id: 9,
+                    kind: ReqKind::Read,
+                    addr: 0,
+                    bytes: 8,
+                },
+                Cycles(0),
+            )
             .unwrap_err();
         assert_eq!(err, SubmitError::QueueFull { bank: 0 });
     }
@@ -311,12 +361,28 @@ mod tests {
     #[test]
     fn energy_accumulates_and_writes_cost_more() {
         let mut ctl = sram(1);
-        ctl.submit(MemRequest { id: 1, kind: ReqKind::Read, addr: 0, bytes: 64 }, Cycles(0))
-            .unwrap();
+        ctl.submit(
+            MemRequest {
+                id: 1,
+                kind: ReqKind::Read,
+                addr: 0,
+                bytes: 64,
+            },
+            Cycles(0),
+        )
+        .unwrap();
         run_until(&mut ctl, 1, 100);
         let e_read = ctl.energy();
-        ctl.submit(MemRequest { id: 2, kind: ReqKind::Write, addr: 0, bytes: 64 }, Cycles(0))
-            .unwrap();
+        ctl.submit(
+            MemRequest {
+                id: 2,
+                kind: ReqKind::Write,
+                addr: 0,
+                bytes: 64,
+            },
+            Cycles(0),
+        )
+        .unwrap();
         let mut now = Cycles(100);
         while ctl.take_response().is_none() {
             ctl.tick(now);
@@ -339,7 +405,12 @@ mod tests {
         let mut ctl = sram(2);
         for id in 0..4 {
             ctl.submit(
-                MemRequest { id, kind: ReqKind::Read, addr: id * 64, bytes: 32 },
+                MemRequest {
+                    id,
+                    kind: ReqKind::Read,
+                    addr: id * 64,
+                    bytes: 32,
+                },
                 Cycles(0),
             )
             .unwrap();

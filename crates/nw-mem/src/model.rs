@@ -136,13 +136,21 @@ impl MemorySpec {
     /// Total service time for an access of `bytes` bytes: access latency
     /// plus streaming time.
     pub fn service_time(&self, write: bool, bytes: u64) -> Cycles {
-        let base = if write { self.write_latency } else { self.read_latency };
+        let base = if write {
+            self.write_latency
+        } else {
+            self.read_latency
+        };
         base + Cycles(bytes.div_ceil(self.bytes_per_cycle.max(1)))
     }
 
     /// Energy of an access of `bytes` bytes.
     pub fn access_energy(&self, write: bool, bytes: u64) -> Picojoules {
-        let per = if write { self.write_pj_per_byte } else { self.read_pj_per_byte };
+        let per = if write {
+            self.write_pj_per_byte
+        } else {
+            self.read_pj_per_byte
+        };
         per * bytes as f64
     }
 }

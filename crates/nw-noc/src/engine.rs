@@ -88,6 +88,10 @@ struct RouterState {
     input_free: usize,
     ni_in: VecDeque<Packet>,
     eject: VecDeque<Packet>,
+    /// Packets sitting in this router's output-port queues. Kept so the
+    /// per-cycle transmit scan can skip quiescent routers without walking
+    /// their ports (the dominant cost on large, mostly idle fabrics).
+    queued: usize,
 }
 
 #[derive(Debug)]
@@ -180,6 +184,7 @@ impl Noc {
                 input_free: cfg.input_buffer * in_degree[r].max(1),
                 ni_in: VecDeque::new(),
                 eject: VecDeque::new(),
+                queued: 0,
             })
             .collect();
         Noc {
@@ -283,7 +288,9 @@ impl Noc {
     pub fn is_quiescent(&self) -> bool {
         self.arrivals.is_empty()
             && self.routers.iter().all(|r| {
-                r.ni_in.is_empty() && r.eject.is_empty() && r.ports.iter().all(|p| p.queue.is_empty())
+                r.ni_in.is_empty()
+                    && r.eject.is_empty()
+                    && r.ports.iter().all(|p| p.queue.is_empty())
             })
     }
 
@@ -306,16 +313,14 @@ impl Noc {
                     .expect("non-destination router must have a next hop");
                 // The packet keeps its reserved buffer slot while queued.
                 self.routers[router].ports[port].queue.push_back(packet);
+                self.routers[router].queued += 1;
             }
         }
     }
 
     fn drain_ni(&mut self, now: Cycles) {
         for r in 0..self.topo.n_endpoints() {
-            loop {
-                let Some(front_dst) = self.routers[r].ni_in.front().map(|p| p.dst) else {
-                    break;
-                };
+            while let Some(front_dst) = self.routers[r].ni_in.front().map(|p| p.dst) {
                 if front_dst.0 == r {
                     // Local delivery bypasses the fabric entirely.
                     let p = self.routers[r].ni_in.pop_front().expect("checked front");
@@ -333,6 +338,7 @@ impl Noc {
                     .expect("remote destination must have a next hop");
                 self.routers[r].input_free -= 1;
                 self.routers[r].ports[port].queue.push_back(p);
+                self.routers[r].queued += 1;
             }
         }
     }
@@ -340,6 +346,8 @@ impl Noc {
     /// Starts the transfer of the head packet of `routers[r].ports[p]`,
     /// assuming the caller verified readiness and downstream credit.
     fn fire(&mut self, r: usize, p: usize, now: Cycles) {
+        debug_assert!(self.routers[r].queued > 0, "fire on a quiescent router");
+        self.routers[r].queued -= 1;
         let (packet, to, ser, wire_lat) = {
             let port = &mut self.routers[r].ports[p];
             let packet = port.queue.pop_front().expect("caller checked non-empty");
@@ -353,17 +361,17 @@ impl Noc {
         // downstream was reserved by the caller.
         self.routers[r].input_free += 1;
         let arrive = Cycles(now.0 + ser + wire_lat + self.cfg.router_delay);
-        self.arrivals.schedule(
-            arrive,
-            Arrival {
-                router: to,
-                packet,
-            },
-        );
+        self.arrivals
+            .schedule(arrive, Arrival { router: to, packet });
     }
 
     fn transmit(&mut self, now: Cycles) {
         for r in 0..self.routers.len() {
+            // Quiescent-router skip: nothing queued on any output port
+            // means nothing can fire — don't walk the ports.
+            if self.routers[r].queued == 0 {
+                continue;
+            }
             if self.routers[r].shared {
                 // Bus arbiter: one transfer at a time, round-robin grant.
                 if self.routers[r].shared_busy_until > now.0 {
@@ -450,7 +458,8 @@ mod tests {
     fn local_delivery_is_fast() {
         let topo = Topology::build(TopologyKind::Ring, 4, 1).unwrap();
         let mut noc = Noc::new(topo, NocConfig::default());
-        noc.try_inject(NodeId(2), NodeId(2), vec![1], 0, Cycles(0)).unwrap();
+        noc.try_inject(NodeId(2), NodeId(2), vec![1], 0, Cycles(0))
+            .unwrap();
         let (p, when) = run_until_delivered(&mut noc, NodeId(2), 10);
         assert_eq!(p.dst, NodeId(2));
         assert!(when.0 <= 1);
@@ -464,10 +473,12 @@ mod tests {
             Noc::new(topo, NocConfig::default())
         };
         let mut near = mk();
-        near.try_inject(NodeId(0), NodeId(1), vec![0; 8], 0, Cycles(0)).unwrap();
+        near.try_inject(NodeId(0), NodeId(1), vec![0; 8], 0, Cycles(0))
+            .unwrap();
         let (_, t_near) = run_until_delivered(&mut near, NodeId(1), 1000);
         let mut far = mk();
-        far.try_inject(NodeId(0), NodeId(8), vec![0; 8], 0, Cycles(0)).unwrap();
+        far.try_inject(NodeId(0), NodeId(8), vec![0; 8], 0, Cycles(0))
+            .unwrap();
         let (_, t_far) = run_until_delivered(&mut far, NodeId(8), 1000);
         assert!(t_far > t_near, "far {t_far} should exceed near {t_near}");
     }
@@ -512,8 +523,12 @@ mod tests {
             ..NocConfig::default()
         };
         let mut noc = Noc::new(topo, cfg);
-        assert!(noc.try_inject(NodeId(0), NodeId(2), vec![], 0, Cycles(0)).is_ok());
-        assert!(noc.try_inject(NodeId(0), NodeId(2), vec![], 1, Cycles(0)).is_ok());
+        assert!(noc
+            .try_inject(NodeId(0), NodeId(2), vec![], 0, Cycles(0))
+            .is_ok());
+        assert!(noc
+            .try_inject(NodeId(0), NodeId(2), vec![], 1, Cycles(0))
+            .is_ok());
         assert_eq!(
             noc.try_inject(NodeId(0), NodeId(2), vec![], 2, Cycles(0)),
             Err(InjectError::NiFull)
@@ -593,9 +608,46 @@ mod tests {
                 now += Cycles(1);
             }
             let s = noc.stats();
-            (s.injected, s.delivered, s.flit_hops, s.latency.mean().to_bits())
+            (
+                s.injected,
+                s.delivered,
+                s.flit_hops,
+                s.latency.mean().to_bits(),
+            )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn queued_counter_tracks_port_queues() {
+        // Hammer a mesh with skewed traffic, checking the quiescent-skip
+        // counter against the ground-truth queue lengths every cycle.
+        let topo = Topology::build(TopologyKind::Mesh, 16, 2).unwrap();
+        let mut noc = Noc::new(topo, NocConfig::default());
+        let mut now = Cycles(0);
+        while now.0 < 400 {
+            let src = ((now.0 * 3) % 16) as usize;
+            let _ = noc.try_inject(NodeId(src), NodeId(5), vec![0; 48], 0, now);
+            noc.tick(now);
+            for r in &noc.routers {
+                let actual: usize = r.ports.iter().map(|p| p.queue.len()).sum();
+                assert_eq!(r.queued, actual);
+            }
+            for e in 0..16 {
+                while noc.eject(NodeId(e)).is_some() {}
+            }
+            now += Cycles(1);
+        }
+        // Drain and confirm the counters return to zero with quiescence.
+        while !noc.is_quiescent() {
+            noc.tick(now);
+            for e in 0..16 {
+                while noc.eject(NodeId(e)).is_some() {}
+            }
+            now += Cycles(1);
+            assert!(now.0 < 100_000);
+        }
+        assert!(noc.routers.iter().all(|r| r.queued == 0));
     }
 
     #[test]

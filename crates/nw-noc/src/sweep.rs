@@ -138,13 +138,8 @@ pub fn run_open_loop(
                     let dst = cfg.pattern.pick_dst(NodeId(src), n, &mut rng);
                     // Refused injections are lost offered load — exactly what
                     // saturation means in an open-loop experiment.
-                    let _ = noc.try_inject(
-                        NodeId(src),
-                        dst,
-                        vec![0; cfg.payload_bytes],
-                        now.0,
-                        now,
-                    );
+                    let _ =
+                        noc.try_inject(NodeId(src), dst, vec![0; cfg.payload_bytes], now.0, now);
                 }
             }
         }
@@ -292,6 +287,9 @@ mod tests {
             fraction: 0.5,
         };
         let hot = saturation_load(TopologyKind::Mesh, 16, &cfg, 0.02).unwrap();
-        assert!(hot < uni, "hotspot {hot} must saturate before uniform {uni}");
+        assert!(
+            hot < uni,
+            "hotspot {hot} must saturate before uniform {uni}"
+        );
     }
 }

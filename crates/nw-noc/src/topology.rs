@@ -119,7 +119,11 @@ impl Topology {
     /// assert_eq!(t.n_endpoints(), 16);
     /// # Ok::<(), nw_noc::topology::BuildTopologyError>(())
     /// ```
-    pub fn build(kind: TopologyKind, n: usize, link_latency: u64) -> Result<Self, BuildTopologyError> {
+    pub fn build(
+        kind: TopologyKind,
+        n: usize,
+        link_latency: u64,
+    ) -> Result<Self, BuildTopologyError> {
         if n == 0 {
             return Err(BuildTopologyError::NoEndpoints);
         }
@@ -145,8 +149,16 @@ impl Topology {
         let center = n;
         let mut links = vec![Vec::new(); n + 1];
         for i in 0..n {
-            links[i].push(Link { to: center, latency: lat, width: 1 });
-            links[center].push(Link { to: i, latency: lat, width: 1 });
+            links[i].push(Link {
+                to: center,
+                latency: lat,
+                width: 1,
+            });
+            links[center].push(Link {
+                to: i,
+                latency: lat,
+                width: 1,
+            });
         }
         let mut shared = vec![false; n + 1];
         shared[center] = shared_center;
@@ -161,12 +173,20 @@ impl Topology {
     fn ring(n: usize, lat: u64) -> Self {
         let mut links = vec![Vec::new(); n];
         if n > 1 {
-            for i in 0..n {
+            for (i, node_links) in links.iter_mut().enumerate() {
                 let cw = (i + 1) % n;
                 let ccw = (i + n - 1) % n;
-                links[i].push(Link { to: cw, latency: lat, width: 1 });
+                node_links.push(Link {
+                    to: cw,
+                    latency: lat,
+                    width: 1,
+                });
                 if ccw != cw {
-                    links[i].push(Link { to: ccw, latency: lat, width: 1 });
+                    node_links.push(Link {
+                        to: ccw,
+                        latency: lat,
+                        width: 1,
+                    });
                 }
             }
         }
@@ -175,7 +195,10 @@ impl Topology {
 
     fn mesh(w: usize, h: usize, lat: u64, wrap: bool) -> Result<Self, BuildTopologyError> {
         if w == 0 || h == 0 {
-            return Err(BuildTopologyError::BadDimensions { width: w, height: h });
+            return Err(BuildTopologyError::BadDimensions {
+                width: w,
+                height: h,
+            });
         }
         let n = w * h;
         let idx = |x: usize, y: usize| y * w + x;
@@ -185,7 +208,11 @@ impl Topology {
                 let me = idx(x, y);
                 let mut push = |to: usize| {
                     if to != me {
-                        links[me].push(Link { to, latency: lat, width: 1 });
+                        links[me].push(Link {
+                            to,
+                            latency: lat,
+                            width: 1,
+                        });
                     }
                 };
                 if x + 1 < w {
@@ -215,7 +242,11 @@ impl Topology {
             l.sort_by_key(|k| k.to);
             l.dedup_by_key(|k| k.to);
         }
-        let kind = if wrap { TopologyKind::Torus } else { TopologyKind::Mesh };
+        let kind = if wrap {
+            TopologyKind::Torus
+        } else {
+            TopologyKind::Mesh
+        };
         let mut topo = Self::finish(kind, n, links, vec![false; n]);
         topo.install_xy_routing(w, h, wrap);
         Ok(topo)
@@ -271,8 +302,16 @@ impl Topology {
                         break;
                     }
                     let child = level[ci];
-                    links[child].push(Link { to: pid, latency: lat, width });
-                    links[pid].push(Link { to: child, latency: lat, width });
+                    links[child].push(Link {
+                        to: pid,
+                        latency: lat,
+                        width,
+                    });
+                    links[pid].push(Link {
+                        to: child,
+                        latency: lat,
+                        width,
+                    });
                 }
             }
             level = next_level;
@@ -285,7 +324,12 @@ impl Topology {
 
     /// Computes BFS routing tables and assembles the struct. Mesh/torus
     /// overwrite the table with XY routing afterwards.
-    fn finish(kind: TopologyKind, n_endpoints: usize, links: Vec<Vec<Link>>, shared: Vec<bool>) -> Self {
+    fn finish(
+        kind: TopologyKind,
+        n_endpoints: usize,
+        links: Vec<Vec<Link>>,
+        shared: Vec<bool>,
+    ) -> Self {
         let nr = links.len();
         let mut next_hop = vec![vec![usize::MAX; n_endpoints]; nr];
         // Reverse adjacency for BFS from each destination endpoint.
@@ -429,7 +473,7 @@ fn dim_step(from: usize, to: usize, len: usize, wrap: bool) -> usize {
 /// Most square factorization `(w, h)` of `n` with `w >= h`.
 pub fn most_square(n: usize) -> (usize, usize) {
     let mut h = (n as f64).sqrt() as usize;
-    while h > 1 && n % h != 0 {
+    while h > 1 && !n.is_multiple_of(h) {
         h -= 1;
     }
     let h = h.max(1);

@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn uniform_never_picks_self_and_covers_all() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for _ in 0..1000 {
             let d = TrafficPattern::Uniform.pick_dst(NodeId(3), 8, &mut rng);
             assert_ne!(d, NodeId(3));

@@ -199,7 +199,10 @@ mod tests {
     fn display() {
         assert_eq!(PeClass::GpRisc.to_string(), "gp-risc");
         assert_eq!(
-            PeClass::Asip { domain: KernelDomain::PacketHeader }.to_string(),
+            PeClass::Asip {
+                domain: KernelDomain::PacketHeader
+            }
+            .to_string(),
             "asip(packet-header)"
         );
     }

@@ -269,7 +269,11 @@ impl Pe {
     pub fn stats(&self) -> PeStats {
         PeStats {
             core_utilization: self.core.fraction(),
-            thread_occupancy: self.threads.iter().map(|t| t.occupancy.fraction()).collect(),
+            thread_occupancy: self
+                .threads
+                .iter()
+                .map(|t| t.occupancy.fraction())
+                .collect(),
             tasks_completed: self.tasks_completed,
             energy: self.energy,
             swaps: self.swaps,
@@ -287,7 +291,9 @@ impl Pe {
     /// Picks the next runnable context after `from` in round-robin order.
     fn next_runnable(&self, from: usize, now: Cycles) -> Option<usize> {
         let n = self.threads.len();
-        (1..=n).map(|k| (from + k) % n).find(|&i| self.thread_is_runnable(i, now))
+        (1..=n)
+            .map(|k| (from + k) % n)
+            .find(|&i| self.thread_is_runnable(i, now))
     }
 
     /// Executes one issue slot of thread `i`. Returns true if work was done.
@@ -306,7 +312,9 @@ impl Pe {
                     self.threads[i].state = ThreadState::Ready;
                     self.advance_pc(i);
                 } else {
-                    self.threads[i].state = ThreadState::Computing { remaining: remaining - 1 };
+                    self.threads[i].state = ThreadState::Computing {
+                        remaining: remaining - 1,
+                    };
                 }
                 true
             }
@@ -344,19 +352,43 @@ impl Pe {
             Op::LocalMem { write, bytes } => {
                 let service = self.cfg.scratchpad.service_time(write, bytes);
                 self.energy += self.cfg.scratchpad.access_energy(write, bytes);
-                self.threads[i].state = ThreadState::ScratchpadStall { until: now.0 + service.0 };
+                self.threads[i].state = ThreadState::ScratchpadStall {
+                    until: now.0 + service.0,
+                };
                 self.advance_pc(i);
             }
-            Op::Send { dst, bytes, data, tag } => {
-                self.requests
-                    .push_back((ThreadId(i), PeRequest::Send { dst, bytes, data, tag }));
+            Op::Send {
+                dst,
+                bytes,
+                data,
+                tag,
+            } => {
+                self.requests.push_back((
+                    ThreadId(i),
+                    PeRequest::Send {
+                        dst,
+                        bytes,
+                        data,
+                        tag,
+                    },
+                ));
                 self.threads[i].state = ThreadState::AwaitingCompletion;
                 self.advance_pc(i);
             }
-            Op::Call { dst, bytes, reply_bytes, data } => {
+            Op::Call {
+                dst,
+                bytes,
+                reply_bytes,
+                data,
+            } => {
                 self.requests.push_back((
                     ThreadId(i),
-                    PeRequest::Call { dst, bytes, reply_bytes, data },
+                    PeRequest::Call {
+                        dst,
+                        bytes,
+                        reply_bytes,
+                        data,
+                    },
                 ));
                 self.threads[i].state = ThreadState::AwaitingCompletion;
                 self.advance_pc(i);
@@ -535,7 +567,8 @@ mod tests {
         let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 2).with_swap_penalty(1));
         pe.spawn(Program::straight_line([Op::call(NodeId(1), 8, 8)]))
             .unwrap();
-        pe.spawn(Program::straight_line([Op::Compute(100)])).unwrap();
+        pe.spawn(Program::straight_line([Op::Compute(100)]))
+            .unwrap();
         run(&mut pe, 50);
         let s = pe.stats();
         assert!(
@@ -565,7 +598,10 @@ mod tests {
         let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 2));
         pe.spawn(Program::straight_line([Op::Compute(5)])).unwrap();
         pe.spawn(Program::straight_line([Op::Compute(5)])).unwrap();
-        assert_eq!(pe.spawn(Program::straight_line([Op::Compute(5)])), Err(SpawnError));
+        assert_eq!(
+            pe.spawn(Program::straight_line([Op::Compute(5)])),
+            Err(SpawnError)
+        );
         run(&mut pe, 30);
         assert!(pe.idle_threads() > 0);
         assert!(pe.spawn(Program::straight_line([Op::Compute(5)])).is_ok());
@@ -575,7 +611,10 @@ mod tests {
     fn scratchpad_stall_is_self_timed() {
         let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 1));
         pe.spawn(Program::straight_line([
-            Op::LocalMem { write: false, bytes: 64 },
+            Op::LocalMem {
+                write: false,
+                bytes: 64,
+            },
             Op::Compute(1),
         ]))
         .unwrap();
@@ -601,9 +640,8 @@ mod tests {
 
     #[test]
     fn round_robin_policy_interleaves_without_swap_cost() {
-        let mut pe = Pe::new(
-            PeConfig::new(PeClass::GpRisc, 4).with_policy(SchedPolicy::RoundRobin),
-        );
+        let mut pe =
+            Pe::new(PeConfig::new(PeClass::GpRisc, 4).with_policy(SchedPolicy::RoundRobin));
         for _ in 0..4 {
             pe.spawn(Program::straight_line([Op::Compute(25)])).unwrap();
         }

@@ -54,12 +54,22 @@ pub enum Op {
 impl Op {
     /// Shorthand for a send with no marshalled payload.
     pub fn send(dst: NodeId, bytes: u64) -> Op {
-        Op::Send { dst, bytes, data: Vec::new(), tag: 0 }
+        Op::Send {
+            dst,
+            bytes,
+            data: Vec::new(),
+            tag: 0,
+        }
     }
 
     /// Shorthand for a call with no marshalled payload.
     pub fn call(dst: NodeId, bytes: u64, reply_bytes: u64) -> Op {
-        Op::Call { dst, bytes, reply_bytes, data: Vec::new() }
+        Op::Call {
+            dst,
+            bytes,
+            reply_bytes,
+            data: Vec::new(),
+        }
     }
 }
 
@@ -138,7 +148,10 @@ impl Program {
 
     /// Number of synchronous calls (round trips) in the program.
     pub fn call_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, Op::Call { .. })).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Call { .. }))
+            .count()
     }
 }
 
@@ -149,7 +162,11 @@ mod tests {
     #[test]
     fn accessors() {
         let p = Program::new(
-            [Op::Compute(10), Op::send(NodeId(1), 8), Op::call(NodeId(2), 8, 8)],
+            [
+                Op::Compute(10),
+                Op::send(NodeId(1), 8),
+                Op::call(NodeId(2), 8, 8),
+            ],
             KernelDomain::Signal,
         );
         assert_eq!(p.len(), 3);
@@ -175,7 +192,9 @@ mod tests {
             _ => unreachable!(),
         }
         match Op::call(NodeId(1), 8, 16) {
-            Op::Call { data, reply_bytes, .. } => {
+            Op::Call {
+                data, reply_bytes, ..
+            } => {
                 assert!(data.is_empty());
                 assert_eq!(reply_bytes, 16);
             }

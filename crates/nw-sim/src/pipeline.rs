@@ -201,7 +201,11 @@ mod tests {
         s.try_submit(1, Cycles(0)).unwrap();
         let done = drive(&mut s, 120);
         assert_eq!(done.len(), 1);
-        assert!(done[0].0 >= 105, "completion at {} should wait for stall", done[0].0);
+        assert!(
+            done[0].0 >= 105,
+            "completion at {} should wait for stall",
+            done[0].0
+        );
     }
 
     #[test]

@@ -93,7 +93,11 @@ impl Tracer {
     /// Panics if `id` is stale (not from this tracer).
     pub fn change_vector(&mut self, id: SignalId, at: Cycles, value: u64) {
         let s = &mut self.signals[id.0];
-        let mask = if s.width == 64 { u64::MAX } else { (1u64 << s.width) - 1 };
+        let mask = if s.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << s.width) - 1
+        };
         s.changes.push((at.0, value & mask));
     }
 

@@ -7,7 +7,9 @@
 //! ```
 
 use nw_ipv4::app::{fast_path_app, FastPathWeights};
-use nw_mapping::{pareto_front, DsePoint, Mapper, MappingProblem, PeSlot, SimulatedAnnealingMapper};
+use nw_mapping::{
+    pareto_front, DsePoint, Mapper, MappingProblem, PeSlot, SimulatedAnnealingMapper,
+};
 use nw_noc::{Topology, TopologyKind};
 use nw_types::NodeId;
 
@@ -17,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut points = Vec::new();
     let mut details = Vec::new();
-    for topology in [TopologyKind::Mesh, TopologyKind::FatTree, TopologyKind::Crossbar] {
+    for topology in [
+        TopologyKind::Mesh,
+        TopologyKind::FatTree,
+        TopologyKind::Crossbar,
+    ] {
         for n_pes in [4usize, 6, 8, 12] {
             let topo = Topology::build(topology, n_pes, 2)?;
             let hops: Vec<Vec<f64>> = (0..n_pes)
@@ -35,12 +41,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             .map(&problem);
             let label = format!("{topology}-{n_pes}pe");
-            points.push(DsePoint::new(label.clone(), n_pes as f64, mapping.cost.total));
+            points.push(DsePoint::new(
+                label.clone(),
+                n_pes as f64,
+                mapping.cost.total,
+            ));
             details.push((label, mapping));
         }
     }
 
-    println!("{:<16} {:>6} {:>14} {:>12} {:>14}", "config", "PEs", "mapping cost", "bottleneck", "comm byte-hops");
+    println!(
+        "{:<16} {:>6} {:>14} {:>12} {:>14}",
+        "config", "PEs", "mapping cost", "bottleneck", "comm byte-hops"
+    );
     for (p, (_, m)) in points.iter().zip(&details) {
         println!(
             "{:<16} {:>6.0} {:>14.3} {:>12.3} {:>14.3}",

@@ -25,7 +25,12 @@ const IDL: &str = r#"
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = parse_application(IDL)?;
-    println!("parsed '{}' with {} objects, {} edges", app.name(), app.objects().len(), app.edges().len());
+    println!(
+        "parsed '{}' with {} objects, {} edges",
+        app.name(),
+        app.objects().len(),
+        app.edges().len()
+    );
 
     // A heterogeneous platform: two RISCs and a DSP (the transform's
     // natural home — the mapper should discover that via capacity).
@@ -48,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         platform.hop_matrix(),
     )?;
     let mapping = GreedyLoadMapper.map(&problem);
-    println!("greedy placement: {:?} (cost {:.3})", mapping.placement, mapping.cost.total);
+    println!(
+        "greedy placement: {:?} (cost {:.3})",
+        mapping.placement, mapping.cost.total
+    );
 
     platform.install_app(&app, &mapping.placement)?;
     platform.drive_entry(ObjectId(0), rate);
@@ -59,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, u) in report.pe_utilization.iter().enumerate() {
         println!("  pe{i} utilization: {:>5.1}%", u * 100.0);
     }
-    println!("  NoC latency     : {:.1} cycles mean", report.noc.latency.mean());
+    println!(
+        "  NoC latency     : {:.1} cycles mean",
+        report.noc.latency.mean()
+    );
     Ok(())
 }

@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 None => missed += 1,
             }
         }
-        let silicon_ratio = if e.name() == "tcam" { CamTable::AREA_RATIO_VS_SRAM } else { 1.0 };
+        let silicon_ratio = if e.name() == "tcam" {
+            CamTable::AREA_RATIO_VS_SRAM
+        } else {
+            1.0
+        };
         println!(
             "{:<26} {:>9} {:>8} {:>10} {:>11.2}Mb {:>12.0}pJ",
             format!("{} ({} acc)", e.name(), e.worst_case_accesses()),

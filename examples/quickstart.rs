@@ -18,12 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Describe the application as DSOC objects: a producer that hands
     //    each work item to a consumer.
     let mut b = Application::builder("pingpong");
-    let ping = b.add_object(ObjectDef::new("ping").with_method(
-        MethodDef::oneway("go", 16).with_compute(50),
-    ));
-    let pong = b.add_object(ObjectDef::new("pong").with_method(
-        MethodDef::oneway("ack", 16).with_compute(50),
-    ));
+    let ping = b.add_object(
+        ObjectDef::new("ping").with_method(MethodDef::oneway("go", 16).with_compute(50)),
+    );
+    let pong = b.add_object(
+        ObjectDef::new("pong").with_method(MethodDef::oneway("ack", 16).with_compute(50)),
+    );
     b.connect(ping, 0, pong, 0, 1.0);
     b.entry(ping, 0);
     let app = b.build()?;
@@ -37,10 +37,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Read the results.
     println!("platform        : {}", platform.config().name);
-    println!("simulated       : {} at {:.0} MHz", report.cycles, report.clock_hz / 1e6);
+    println!(
+        "simulated       : {} at {:.0} MHz",
+        report.cycles,
+        report.clock_hz / 1e6
+    );
     println!("tasks completed : {}", report.tasks_completed);
-    println!("NoC packets     : {} (mean latency {:.1} cycles)",
-        report.noc.delivered, report.noc.latency.mean());
+    println!(
+        "NoC packets     : {} (mean latency {:.1} cycles)",
+        report.noc.delivered,
+        report.noc.latency.mean()
+    );
     for (i, u) in report.pe_utilization.iter().enumerate() {
         println!("pe{i} utilization : {:.1}%", u * 100.0);
     }

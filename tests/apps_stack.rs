@@ -1,0 +1,114 @@
+//! Integration of the application-workload subsystem across the stack:
+//! `nw-apps` stage graphs → DSOC lowering → MultiFlex mapping/DSE →
+//! scenario registry → simulated execution with per-stage reports.
+
+use nanowall::scenarios::ScenarioRegistry;
+use nw_apps::{modem_pipeline, video_pipeline, ModemParams, VideoParams};
+use nw_mapping::{
+    pareto_front, CostModel, DsePoint, GreedyLoadMapper, Mapper, MappingProblem, PeSlot,
+    RandomMapper, SimulatedAnnealingMapper,
+};
+use nw_types::NodeId;
+
+/// Builds a mapping problem for a workload app over a ring-ish hop matrix.
+fn problem_for(app: nw_dsoc::Application, n_pes: usize) -> MappingProblem {
+    let entries = app.entries().len();
+    let hops: Vec<Vec<f64>> = (0..n_pes)
+        .map(|a| {
+            (0..n_pes)
+                .map(|b| {
+                    let d = (a as i64 - b as i64).unsigned_abs() as f64;
+                    d.min(n_pes as f64 - d)
+                })
+                .collect()
+        })
+        .collect();
+    MappingProblem::new(
+        app,
+        vec![0.001; entries],
+        (0..n_pes).map(|i| PeSlot::new(NodeId(i), 1.0)).collect(),
+        hops,
+    )
+    .expect("workload apps form valid mapping problems")
+}
+
+/// The MultiFlex mappers place the new pipelines, and the optimized
+/// mappers beat the random baseline on the analytic cost.
+#[test]
+fn mappers_place_the_new_pipelines() {
+    let video = video_pipeline(&VideoParams::default());
+    let modem = modem_pipeline(&ModemParams::default());
+    for (name, spec) in [("video", &video.spec), ("modem", &modem.spec)] {
+        let (app, _) = spec.to_application().expect("valid lowering");
+        let problem = problem_for(app, 7);
+        let random = RandomMapper { seed: 11 }.map(&problem);
+        let greedy = GreedyLoadMapper.map(&problem);
+        let sa = SimulatedAnnealingMapper {
+            iterations: 8_000,
+            ..Default::default()
+        }
+        .map(&problem);
+        for m in [&random, &greedy, &sa] {
+            assert_eq!(m.placement.len(), problem.n_objects(), "{name}");
+            assert!(m.placement.iter().all(|&p| p < problem.n_pes()), "{name}");
+            let check = CostModel::default().evaluate(&problem, &m.placement);
+            assert!((check.total - m.cost.total).abs() < 1e-9, "{name}");
+        }
+        assert!(sa.cost.total <= greedy.cost.total + 1e-9, "{name}");
+        assert!(greedy.cost.total <= random.cost.total + 1e-9, "{name}");
+    }
+}
+
+/// DSE over PE pools for the video pipeline: larger pools never look
+/// worse on the analytic bottleneck, and the Pareto front is consistent.
+#[test]
+fn dse_sweeps_the_video_pipeline() {
+    let video = video_pipeline(&VideoParams::default());
+    let (app, _) = video.spec.to_application().expect("valid lowering");
+    let mut points = Vec::new();
+    let mut costs = Vec::new();
+    for n_pes in [3usize, 5, 7, 9] {
+        let problem = problem_for(app.clone(), n_pes);
+        let mapping = GreedyLoadMapper.map(&problem);
+        costs.push(mapping.cost.bottleneck_load);
+        points.push(DsePoint::new(
+            format!("video-{n_pes}pe"),
+            n_pes as f64,
+            mapping.cost.total,
+        ));
+    }
+    // More PEs → no worse bottleneck load under greedy balancing.
+    for w in costs.windows(2) {
+        assert!(w[1] <= w[0] + 1e-9, "{costs:?}");
+    }
+    let front = pareto_front(&points);
+    assert!(!front.is_empty());
+    for w in front.windows(2) {
+        assert!(points[w[0]].resource <= points[w[1]].resource);
+    }
+}
+
+/// The registry's standard rigs execute and report per-stage activity for
+/// every object of every workload.
+#[test]
+fn registry_rigs_report_per_stage_activity() {
+    let reg = ScenarioRegistry::standard();
+    for name in ["video", "modem", "crypto"] {
+        let mut rig = reg.build(name, true).expect("registered scenario");
+        let report = rig.run(30_000);
+        assert_eq!(
+            report.object_invocations.len(),
+            rig.app.objects().len(),
+            "{name}"
+        );
+        // Entry stages always fire; interior stages follow.
+        let active = report.object_invocations.iter().filter(|&&n| n > 0).count();
+        assert!(
+            active >= rig.app.objects().len() / 2,
+            "{name}: only {active} of {} stages active",
+            rig.app.objects().len()
+        );
+        assert!(report.io[0].transmitted > 0, "{name} must deliver items");
+        assert!(report.energy.0 > 0.0, "{name} must account energy");
+    }
+}

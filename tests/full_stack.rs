@@ -29,7 +29,10 @@ fn platform_runs_are_bit_deterministic() {
             r.noc.delivered,
             r.noc.flit_hops,
             r.energy.0.to_bits(),
-            r.pe_utilization.iter().map(|u| u.to_bits()).collect::<Vec<_>>(),
+            r.pe_utilization
+                .iter()
+                .map(|u| u.to_bits())
+                .collect::<Vec<_>>(),
         )
     };
     assert_eq!(run_once(), run_once());
@@ -78,10 +81,8 @@ fn figure2_platform_assembles_and_serves_every_class() {
     assert_eq!(n, 14);
     // Drive a compute+memory task on every PE directly.
     let sram = platform.memory_node(0);
-    let prog = nw_pe::Program::straight_line([
-        nw_pe::Op::Compute(20),
-        nw_pe::Op::call(sram, 8, 32),
-    ]);
+    let prog =
+        nw_pe::Program::straight_line([nw_pe::Op::Compute(20), nw_pe::Op::call(sram, 8, 32)]);
     for c in 0..5_000u64 {
         for pe in 0..8 {
             while platform.pe(pe).idle_threads() > 0 {

@@ -17,7 +17,10 @@ fn build_problem(n_pes: usize, replicas: usize, gbps: f64) -> (MappingProblem, u
     for _ in 0..n_pes {
         cfg.add_pe(PeConfig::new(PeClass::GpRisc, 8));
     }
-    cfg.add_memory(nanowall::MemoryBlockConfig::new(MemoryTechnology::Sram, 16.0));
+    cfg.add_memory(nanowall::MemoryBlockConfig::new(
+        MemoryTechnology::Sram,
+        16.0,
+    ));
     cfg.add_io(IoChannelConfig::ten_gbe_worst_case());
     let platform = FppaPlatform::new(cfg).unwrap();
     let hops = platform.hop_matrix();
@@ -64,9 +67,8 @@ fn analytic_cost_predicts_simulated_ranking() {
     let (problem, n_pes) = build_problem(6, replicas, gbps);
 
     let evaluate = |placement: &[usize]| {
-        let mut rig = ipv4_rig_with_placement(
-            replicas, n_pes, 8, TopologyKind::Mesh, 4, gbps, placement,
-        );
+        let mut rig =
+            ipv4_rig_with_placement(replicas, n_pes, 8, TopologyKind::Mesh, 4, gbps, placement);
         let r = run_ipv4(&mut rig, 50_000);
         r.io[0].transmitted as f64 / r.io[0].generated.max(1) as f64
     };
@@ -84,7 +86,10 @@ fn analytic_cost_predicts_simulated_ranking() {
         fwd_good >= fwd_bad - 0.02,
         "analytic winner must not lose on silicon: good {fwd_good} vs bad {fwd_bad}"
     );
-    assert!(fwd_good > 0.9, "optimized placement holds the rate: {fwd_good}");
+    assert!(
+        fwd_good > 0.9,
+        "optimized placement holds the rate: {fwd_good}"
+    );
 }
 
 #[test]

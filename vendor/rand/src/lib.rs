@@ -107,7 +107,10 @@ pub trait Rng: RngCore {
     }
 
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         self.next_unit_f64() < p
     }
 
