@@ -1,0 +1,400 @@
+//! `expt bench` — the recorded performance trajectory.
+//!
+//! Times the simulation core under both schedulers on the workloads where
+//! the active-set scheduler matters (large-idle rigs: low-rate video /
+//! modem / crypto / IPv4 points and the F6 latency-hiding rig), verifies
+//! the runs are **bit-identical** across schedulers while timing them,
+//! measures the parallel sweep runner's scaling on the F4 topology sweep
+//! and the T8 PE-pool DSE, and wall-clocks every registered experiment.
+//! Everything lands in `BENCH_platform.json` so each PR records the perf
+//! trajectory instead of guessing at it.
+
+use crate::experiments::{run_by_id, ALL_IDS};
+use nanowall::scenarios::{self, latency_hiding};
+use nanowall::{set_default_scheduler_mode, PlatformReport, SchedulerMode};
+use nw_pe::SchedPolicy;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One dense-vs-active measurement of a platform rig.
+#[derive(Debug, Clone)]
+pub struct SchedEntry {
+    /// Rig label.
+    pub name: String,
+    /// Simulated window in cycles.
+    pub cycles: u64,
+    /// Wall-clock of the dense reference scheduler.
+    pub dense_secs: f64,
+    /// Wall-clock of the active-set scheduler.
+    pub active_secs: f64,
+    /// Simulated cycles per wall-clock second under the active scheduler.
+    pub active_cycles_per_sec: f64,
+    /// Whether the two runs produced bit-identical reports.
+    pub bit_identical: bool,
+}
+
+impl SchedEntry {
+    /// Dense time over active time.
+    pub fn speedup(&self) -> f64 {
+        if self.active_secs > 0.0 {
+            self.dense_secs / self.active_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One serial-vs-parallel measurement of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepEntry {
+    /// Sweep label.
+    pub name: String,
+    /// Wall-clock on one worker.
+    pub serial_secs: f64,
+    /// Wall-clock on the full pool.
+    pub parallel_secs: f64,
+    /// Workers in the pool.
+    pub threads: usize,
+    /// Whether serial and parallel produced identical tables.
+    pub identical: bool,
+}
+
+impl SweepEntry {
+    /// Serial time over parallel time.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.serial_secs / self.parallel_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Wall-clock of one registered experiment.
+#[derive(Debug, Clone)]
+pub struct ExptTiming {
+    /// Experiment id.
+    pub id: String,
+    /// Wall-clock seconds.
+    pub secs: f64,
+}
+
+/// Everything `expt bench` measured.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Whether the quick (CI-sized) windows were used.
+    pub quick: bool,
+    /// Worker-pool size the sweeps ran on.
+    pub sweep_threads: usize,
+    /// Scheduler comparisons.
+    pub scheduler: Vec<SchedEntry>,
+    /// Sweep-scaling comparisons.
+    pub sweeps: Vec<SweepEntry>,
+    /// Per-experiment timings.
+    pub experiments: Vec<ExptTiming>,
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl BenchReport {
+    /// Renders the report as JSON (hand-rolled: the workspace is offline,
+    /// and the schema is flat enough not to need a serializer).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"tool\": \"expt bench\",");
+        let _ = writeln!(s, "  \"quick\": {},", self.quick);
+        let _ = writeln!(s, "  \"sweep_threads\": {},", self.sweep_threads);
+        s.push_str("  \"scheduler\": [\n");
+        for (i, e) in self.scheduler.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"cycles\": {}, \"dense_secs\": {}, \"active_secs\": {}, \"speedup\": {}, \"active_cycles_per_sec\": {}, \"bit_identical\": {}}}{}",
+                e.name,
+                e.cycles,
+                json_f(e.dense_secs),
+                json_f(e.active_secs),
+                json_f(e.speedup()),
+                json_f(e.active_cycles_per_sec),
+                e.bit_identical,
+                if i + 1 < self.scheduler.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ],\n  \"sweeps\": [\n");
+        for (i, e) in self.sweeps.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"serial_secs\": {}, \"parallel_secs\": {}, \"speedup\": {}, \"threads\": {}, \"identical\": {}}}{}",
+                e.name,
+                json_f(e.serial_secs),
+                json_f(e.parallel_secs),
+                json_f(e.speedup()),
+                e.threads,
+                e.identical,
+                if i + 1 < self.sweeps.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ],\n  \"experiments\": [\n");
+        for (i, e) in self.experiments.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"id\": \"{}\", \"secs\": {}}}{}",
+                e.id,
+                json_f(e.secs),
+                if i + 1 < self.experiments.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Human-readable summary for stdout.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "BENCH  scheduler dense vs active-set (bit-identical required)"
+        );
+        for e in &self.scheduler {
+            let _ = writeln!(
+                s,
+                "  {:<22} {:>9} cyc  dense {:>8.4}s  active {:>8.4}s  {:>5.1}x  {:>11.0} cyc/s  identical={}",
+                e.name,
+                e.cycles,
+                e.dense_secs,
+                e.active_secs,
+                e.speedup(),
+                e.active_cycles_per_sec,
+                e.bit_identical
+            );
+        }
+        let _ = writeln!(
+            s,
+            "BENCH  sweep scaling on {} worker(s)",
+            self.sweep_threads
+        );
+        for e in &self.sweeps {
+            let _ = writeln!(
+                s,
+                "  {:<22} serial {:>8.4}s  parallel {:>8.4}s  {:>5.1}x  identical={}",
+                e.name,
+                e.serial_secs,
+                e.parallel_secs,
+                e.speedup(),
+                e.identical
+            );
+        }
+        let _ = writeln!(s, "BENCH  experiment wall-clock");
+        for e in &self.experiments {
+            let _ = writeln!(s, "  {:<6} {:>8.4}s", e.id, e.secs);
+        }
+        s
+    }
+}
+
+/// Runs `build_and_run` under one scheduler, returning (report, secs).
+fn timed_under(mode: SchedulerMode, run: &dyn Fn() -> PlatformReport) -> (PlatformReport, f64) {
+    set_default_scheduler_mode(mode);
+    let t = Instant::now();
+    let report = run();
+    let secs = t.elapsed().as_secs_f64();
+    set_default_scheduler_mode(SchedulerMode::ActiveSet);
+    (report, secs)
+}
+
+fn sched_case(name: &str, cycles: u64, run: &dyn Fn() -> PlatformReport) -> SchedEntry {
+    let (dense_report, dense_secs) = timed_under(SchedulerMode::Dense, run);
+    let (active_report, active_secs) = timed_under(SchedulerMode::ActiveSet, run);
+    SchedEntry {
+        name: name.to_owned(),
+        cycles,
+        dense_secs,
+        active_secs,
+        active_cycles_per_sec: if active_secs > 0.0 {
+            cycles as f64 / active_secs
+        } else {
+            0.0
+        },
+        bit_identical: dense_report == active_report,
+    }
+}
+
+fn sweep_case(name: &str, run: &dyn Fn() -> String) -> SweepEntry {
+    // Serial: pin the pool to one worker; parallel: the configured pool.
+    nw_sim::set_sweep_threads(Some(1));
+    let t = Instant::now();
+    let serial_out = run();
+    let serial_secs = t.elapsed().as_secs_f64();
+    nw_sim::set_sweep_threads(None);
+    let threads = nw_sim::sweep_threads();
+    let t = Instant::now();
+    let parallel_out = run();
+    let parallel_secs = t.elapsed().as_secs_f64();
+    SweepEntry {
+        name: name.to_owned(),
+        serial_secs,
+        parallel_secs,
+        threads,
+        identical: serial_out == parallel_out,
+    }
+}
+
+/// Runs the benchmark suite. `quick` shrinks windows to CI size.
+pub fn run_bench(quick: bool) -> BenchReport {
+    let win = if quick { 300_000 } else { 1_000_000 };
+
+    let scheduler = vec![
+        // F6 latency-hiding rig at its most idle point: a single context
+        // blocked on a 200-cycle link round trip most of the window.
+        sched_case("f6-1thr-200cyc-link", win / 4, &|| {
+            let p = latency_hiding(1, 200, 40, SchedPolicy::SwitchOnStall, 1, win / 4);
+            // Pack the measurement into a comparable report shape: the
+            // utilization/tasks pair is the experiment's observable.
+            synthetic_report(p.utilization, p.tasks)
+        }),
+        // T9 modem at a low air rate: bursts arrive thousands of cycles
+        // apart, so almost every cycle is idle.
+        sched_case("t9-modem-40mbps", win, &|| {
+            let mut rig = scenarios::modem_rig(&nw_apps::ModemParams::default(), 6, 4, 50, 40.0);
+            rig.run(win)
+        }),
+        // T8 video far below the knee.
+        sched_case("t8-video-1gbps", win / 2, &|| {
+            let mut rig = scenarios::video_rig(&nw_apps::VideoParams::default(), 9, 4, 4, 1.0);
+            rig.run(win / 2)
+        }),
+        // T10 crypto at an easy offered load.
+        sched_case("t10-crypto-0.5gbps", win / 2, &|| {
+            let mut rig = scenarios::crypto_rig(&nw_apps::CryptoParams::default(), 4, 8, 4, 0.5);
+            rig.run(win / 2)
+        }),
+        // T3 IPv4 fast path far below line rate.
+        sched_case("t3-ipv4-0.3gbps", win / 2, &|| {
+            let mut rig = scenarios::ipv4_rig(4, 8, nw_noc::TopologyKind::Mesh, 4, 0.3);
+            scenarios::run_ipv4(&mut rig, win / 2)
+        }),
+    ];
+
+    let sweeps = vec![
+        sweep_case("f4-topology-sweep", &|| {
+            crate::experiments::f4_topology::run(true).table
+        }),
+        sweep_case("t8-pe-pool-dse", &|| {
+            crate::experiments::t8_video::run(true).table
+        }),
+    ];
+
+    let experiments = ALL_IDS
+        .iter()
+        .map(|id| {
+            let t = Instant::now();
+            let out = run_by_id(id, quick);
+            assert!(out.is_some(), "registered id {id} must run");
+            ExptTiming {
+                id: (*id).to_owned(),
+                secs: t.elapsed().as_secs_f64(),
+            }
+        })
+        .collect();
+
+    BenchReport {
+        quick,
+        sweep_threads: nw_sim::sweep_threads(),
+        scheduler,
+        sweeps,
+        experiments,
+    }
+}
+
+/// Wraps a scalar measurement pair into a `PlatformReport`-shaped value so
+/// the F6 rig (which reads PE stats directly rather than reporting) can be
+/// compared across schedulers with the same equality check.
+fn synthetic_report(utilization: f64, tasks: u64) -> PlatformReport {
+    PlatformReport {
+        cycles: nw_types::Cycles(0),
+        clock_hz: 0.0,
+        tasks_completed: tasks,
+        pe_utilization: vec![utilization],
+        thread_occupancy: Vec::new(),
+        noc: nw_noc::NocStats {
+            injected: 0,
+            delivered: 0,
+            refused: 0,
+            flit_hops: 0,
+            latency: nw_sim::Histogram::new(),
+        },
+        io: Vec::new(),
+        energy: nw_types::Picojoules(0.0),
+        queued_invocations: 0,
+        object_invocations: Vec::new(),
+        mem_accesses: 0,
+        fabric_served: 0,
+        hwip_served: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = BenchReport {
+            quick: true,
+            sweep_threads: 4,
+            scheduler: vec![SchedEntry {
+                name: "x".into(),
+                cycles: 100,
+                dense_secs: 0.2,
+                active_secs: 0.1,
+                active_cycles_per_sec: 1000.0,
+                bit_identical: true,
+            }],
+            sweeps: vec![SweepEntry {
+                name: "y".into(),
+                serial_secs: 0.4,
+                parallel_secs: 0.1,
+                threads: 4,
+                identical: true,
+            }],
+            experiments: vec![ExptTiming {
+                id: "t1".into(),
+                secs: 0.01,
+            }],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"bit_identical\": true"));
+        assert!(j.contains("\"speedup\": 2.000000"));
+        assert!(j.contains("\"speedup\": 4.000000"));
+        assert!(j.contains("\"id\": \"t1\""));
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces: {j}"
+        );
+        assert!(!r.render().is_empty());
+    }
+
+    #[test]
+    fn speedup_handles_zero_division() {
+        let e = SchedEntry {
+            name: "z".into(),
+            cycles: 1,
+            dense_secs: 1.0,
+            active_secs: 0.0,
+            active_cycles_per_sec: 0.0,
+            bit_identical: true,
+        };
+        assert_eq!(e.speedup(), 0.0);
+    }
+}

@@ -5,6 +5,8 @@
 //! expt t3 f6          # selected experiments
 //! expt --fast all     # smaller simulation windows
 //! expt list           # registered experiments and scenarios
+//! expt bench          # time the simulator, write BENCH_platform.json
+//! expt bench --quick  # CI-sized benchmark windows
 //! ```
 
 use nw_bench::experiments::{run_by_id, ALL_IDS, EXPERIMENTS};
@@ -25,18 +27,38 @@ fn print_list() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let quick = args.iter().any(|a| a == "--quick");
     let ids: Vec<&str> = args
         .iter()
-        .filter(|a| *a != "--fast")
+        .filter(|a| *a != "--fast" && *a != "--quick")
         .map(String::as_str)
         .collect();
     if ids == ["list"] {
         print_list();
         return;
     }
+    if ids == ["bench"] {
+        let report = nw_bench::bench::run_bench(quick || fast);
+        print!("{}", report.render());
+        let path = "BENCH_platform.json";
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+        // Timing is informational; correctness is not. Any scheduler or
+        // sweep divergence fails the run.
+        let diverged = report.scheduler.iter().any(|e| !e.bit_identical)
+            || report.sweeps.iter().any(|e| !e.identical);
+        if diverged {
+            eprintln!("bench: dense/active or serial/parallel divergence detected");
+            std::process::exit(1);
+        }
+        return;
+    }
     if ids.is_empty() {
         eprintln!(
-            "usage: expt [--fast] <list | all | {}>",
+            "usage: expt [--fast] <list | all | bench | {}>",
             ALL_IDS.join(" | ")
         );
         std::process::exit(2);

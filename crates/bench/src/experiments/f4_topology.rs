@@ -8,6 +8,7 @@
 
 use crate::Table;
 use nw_noc::{run_open_loop, saturation_load, OpenLoopConfig, TopologyKind, TrafficPattern};
+use nw_sim::parallel_map;
 use nw_types::NodeId;
 
 /// One topology's characterization row.
@@ -52,7 +53,33 @@ pub fn run(fast: bool) -> F4Result {
     };
     let tol = if fast { 0.04 } else { 0.02 };
 
-    let mut rows = Vec::new();
+    // Every (size, topology) point simulates an independent NoC, so the
+    // sweep fans out over the scoped worker pool; results come back in
+    // input order, keeping the table byte-identical to the serial loop.
+    let points: Vec<(usize, TopologyKind)> = sizes
+        .iter()
+        .flat_map(|&n| kinds.iter().map(move |&k| (n, k)))
+        .collect();
+    let rows = parallel_map(points, |(n, kind)| {
+        let mut low = base.clone();
+        low.offered_load = 0.02;
+        let low_r = run_open_loop(kind, n, &low).expect("valid sweep config");
+        let sat_u = saturation_load(kind, n, &base, tol).expect("valid sweep config");
+        let mut hot = base.clone();
+        hot.pattern = TrafficPattern::Hotspot {
+            target: NodeId(0),
+            fraction: 0.3,
+        };
+        let sat_h = saturation_load(kind, n, &hot, tol).expect("valid sweep config");
+        TopologyRow {
+            kind,
+            n,
+            low_load_latency: low_r.mean_latency(),
+            saturation_uniform: sat_u,
+            saturation_hotspot: sat_h,
+        }
+    });
+
     let mut t = Table::new(&[
         "topology",
         "n",
@@ -60,33 +87,14 @@ pub fn run(fast: bool) -> F4Result {
         "saturation (uniform)",
         "saturation (hotspot 30%)",
     ]);
-    for &n in sizes {
-        for kind in kinds {
-            let mut low = base.clone();
-            low.offered_load = 0.02;
-            let low_r = run_open_loop(kind, n, &low).expect("valid sweep config");
-            let sat_u = saturation_load(kind, n, &base, tol).expect("valid sweep config");
-            let mut hot = base.clone();
-            hot.pattern = TrafficPattern::Hotspot {
-                target: NodeId(0),
-                fraction: 0.3,
-            };
-            let sat_h = saturation_load(kind, n, &hot, tol).expect("valid sweep config");
-            rows.push(TopologyRow {
-                kind,
-                n,
-                low_load_latency: low_r.mean_latency(),
-                saturation_uniform: sat_u,
-                saturation_hotspot: sat_h,
-            });
-            t.row_owned(vec![
-                kind.to_string(),
-                n.to_string(),
-                format!("{:.1} cyc", low_r.mean_latency()),
-                format!("{sat_u:.3} flits/cyc/node"),
-                format!("{sat_h:.3}"),
-            ]);
-        }
+    for row in &rows {
+        t.row_owned(vec![
+            row.kind.to_string(),
+            row.n.to_string(),
+            format!("{:.1} cyc", row.low_load_latency),
+            format!("{:.3} flits/cyc/node", row.saturation_uniform),
+            format!("{:.3}", row.saturation_hotspot),
+        ]);
     }
     F4Result {
         rows,

@@ -11,6 +11,7 @@
 use crate::Table;
 use nanowall::scenarios::crypto_rig;
 use nw_apps::CryptoParams;
+use nw_sim::parallel_map;
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -71,6 +72,10 @@ fn measure(gbps: f64, block_bytes: u64, cycles: u64) -> CryptoPoint {
 pub fn run(fast: bool) -> T10Result {
     let cycles = if fast { 40_000 } else { 120_000 };
 
+    // Sweep points build independent platforms — run them on the parallel
+    // sweep pool (input-order results keep the tables byte-identical).
+    let sweep: Vec<CryptoPoint> =
+        parallel_map(vec![1.0, 2.0, 4.0, 6.0], |gbps| measure(gbps, 128, cycles));
     let mut t = Table::new(&[
         "line rate",
         "block",
@@ -79,9 +84,7 @@ pub fn run(fast: bool) -> T10Result {
         "engine calls/payload",
         "pJ/payload",
     ]);
-    let mut sweep = Vec::new();
-    for gbps in [1.0, 2.0, 4.0, 6.0] {
-        let p = measure(gbps, 128, cycles);
+    for p in &sweep {
         t.row_owned(vec![
             format!("{:.1} Gb/s", p.gbps),
             format!("{} B", p.block_bytes),
@@ -90,20 +93,19 @@ pub fn run(fast: bool) -> T10Result {
             format!("{:.1}", p.engine_calls_per_payload),
             format!("{:.0}", p.energy_per_payload_pj),
         ]);
-        sweep.push(p);
     }
 
+    let block_ablation: Vec<CryptoPoint> = parallel_map(vec![64u64, 128, 256, 512], |block| {
+        measure(4.0, block, cycles)
+    });
     let mut at = Table::new(&["block", "delivered", "egress", "engine calls/payload"]);
-    let mut block_ablation = Vec::new();
-    for block in [64u64, 128, 256, 512] {
-        let p = measure(4.0, block, cycles);
+    for p in &block_ablation {
         at.row_owned(vec![
             format!("{} B", p.block_bytes),
             format!("{:.0}%", p.delivered_ratio * 100.0),
             format!("{:.2} Gb/s", p.egress_gbps),
             format!("{:.1}", p.engine_calls_per_payload),
         ]);
-        block_ablation.push(p);
     }
 
     T10Result {

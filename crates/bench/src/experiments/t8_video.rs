@@ -12,7 +12,8 @@
 use crate::Table;
 use nanowall::scenarios::video_rig;
 use nw_apps::VideoParams;
-use nw_mapping::{pareto_front, DsePoint};
+use nw_mapping::{evaluate_points, pareto_front, DsePoint};
+use nw_sim::parallel_map;
 
 /// One line-rate sweep point.
 #[derive(Debug, Clone)]
@@ -74,6 +75,11 @@ pub fn run(fast: bool) -> T8Result {
     let cycles = if fast { 40_000 } else { 120_000 };
     let n_pes = 2 * params.lanes + 1;
 
+    // Each sweep point simulates its own platform: fan out over the scoped
+    // worker pool (results return in input order — same table, faster).
+    let sweep: Vec<VideoPoint> = parallel_map(vec![2.0, 4.0, 6.0, 8.0], |gbps| {
+        measure(&params, n_pes, gbps, cycles).0
+    });
     let mut t = Table::new(&[
         "line rate",
         "delivered",
@@ -82,9 +88,7 @@ pub fn run(fast: bool) -> T8Result {
         "mem/slice",
         "PE util",
     ]);
-    let mut sweep = Vec::new();
-    for gbps in [2.0, 4.0, 6.0, 8.0] {
-        let (p, _) = measure(&params, n_pes, gbps, cycles);
+    for p in &sweep {
         t.row_owned(vec![
             format!("{:.1} Gb/s", p.gbps),
             format!("{:.0}%", p.delivered_ratio * 100.0),
@@ -93,22 +97,18 @@ pub fn run(fast: bool) -> T8Result {
             format!("{:.1}", p.mem_accesses_per_slice),
             format!("{:.0}%", p.mean_util * 100.0),
         ]);
-        sweep.push(p);
     }
 
     // DSE over the PE pool at a demanding rate: how few PEs still hold the
     // line? Quality is inverse delivered throughput, resource is the pool.
+    // Pool sizes are independent design points — the parallel sweep runner
+    // evaluates them concurrently.
     let dse_cycles = cycles / 2;
-    let mut dse = Vec::new();
-    for pool in [3usize, 5, 7, 9, 11] {
+    let dse: Vec<DsePoint> = evaluate_points(vec![3usize, 5, 7, 9, 11], |pool| {
         let (_, transmitted) = measure(&params, pool, 6.0, dse_cycles);
         let quality = 1.0 / (transmitted.max(1) as f64);
-        dse.push(DsePoint::new(
-            format!("video-{pool}pe"),
-            pool as f64,
-            quality,
-        ));
-    }
+        DsePoint::new(format!("video-{pool}pe"), pool as f64, quality)
+    });
     let front = pareto_front(&dse);
     let mut ft = Table::new(&["design point", "PEs", "1/slices", "on front"]);
     for (i, d) in dse.iter().enumerate() {

@@ -17,6 +17,7 @@
 //! `t4`, `t5`, `t6`, `t7`, `f1`, `f2`). The Criterion timing benches live in
 //! `benches/paper.rs`.
 
+pub mod bench;
 pub mod experiments;
 pub mod table;
 

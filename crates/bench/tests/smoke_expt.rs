@@ -1,6 +1,50 @@
-//! End-to-end smoke tests for the `expt` binary and its experiment registry.
+//! End-to-end smoke tests for the `expt` binary and its experiment registry,
+//! plus the scheduler/parallelism differential checks at the experiment
+//! (rendered-table) level.
 
+use nanowall::SchedulerMode;
 use std::process::Command;
+
+/// Whole experiment tables must be byte-identical whichever scheduler the
+/// platforms underneath run on: the active-set scheduler is a pure
+/// performance change. (The global default only affects platforms built
+/// while it is set; since both modes simulate identically, concurrent tests
+/// are unaffected beyond speed.)
+#[test]
+fn experiment_tables_are_scheduler_invariant() {
+    for id in ["f4", "f6", "t8", "t9", "t10"] {
+        nanowall::set_default_scheduler_mode(SchedulerMode::Dense);
+        let dense = nw_bench::experiments::run_by_id(id, true).expect("registered id");
+        nanowall::set_default_scheduler_mode(SchedulerMode::ActiveSet);
+        let active = nw_bench::experiments::run_by_id(id, true).expect("registered id");
+        assert_eq!(
+            dense, active,
+            "{id}: active-set scheduler changed the experiment table"
+        );
+    }
+}
+
+/// The parallel sweep runner must not change sweep tables: results return
+/// in input order, and every point simulates an independent platform.
+#[test]
+fn parallel_sweeps_match_serial_tables() {
+    // Pool size is flipped through the process-global atomic override (not
+    // the environment — setenv while sibling tests run getenv is UB).
+    nw_sim::set_sweep_threads(Some(1));
+    let f4_serial = nw_bench::experiments::f4_topology::run(true).table;
+    let t10_serial = nw_bench::experiments::t10_crypto::run(true).table;
+    nw_sim::set_sweep_threads(None);
+    let f4_parallel = nw_bench::experiments::f4_topology::run(true).table;
+    let t10_parallel = nw_bench::experiments::t10_crypto::run(true).table;
+    assert_eq!(
+        f4_serial, f4_parallel,
+        "f4 sweep diverged under parallelism"
+    );
+    assert_eq!(
+        t10_serial, t10_parallel,
+        "t10 sweep diverged under parallelism"
+    );
+}
 
 /// The cheapest experiment (T1, mask-set NRE — pure arithmetic, no
 /// simulation) runs through the library entry point and emits a table.

@@ -63,14 +63,16 @@ pub mod scenarios;
 pub mod tags;
 
 pub use config::{BuildPlatformError, FppaConfig, HwIpConfig, MemoryBlockConfig};
-pub use platform::{FppaPlatform, NodeRole};
+pub use platform::{
+    default_scheduler_mode, set_default_scheduler_mode, FppaPlatform, NodeRole, SchedulerMode,
+};
 pub use report::PlatformReport;
 pub use runtime::{InstallError, ServiceBinding};
 pub use scenarios::{ScenarioRegistry, ScenarioRig, ScenarioSpec};
 
 /// The convenient single import for examples and experiments.
 pub mod prelude {
-    pub use crate::{FppaConfig, FppaPlatform, NodeRole, PlatformReport};
+    pub use crate::{FppaConfig, FppaPlatform, NodeRole, PlatformReport, SchedulerMode};
     pub use nw_dsoc::{Application, Domain, MethodDef, ObjectDef};
     pub use nw_fabric::{FabricSpec, KernelSpec};
     pub use nw_hwip::{IoChannel, IoChannelConfig};

@@ -25,7 +25,62 @@ use nw_noc::{Noc, Topology};
 use nw_pe::{Pe, PeRequest};
 use nw_sim::{Clock, Clocked};
 use nw_types::{AreaMm2, Cycles, NodeId, PeId, Picojoules};
+use std::cell::OnceCell;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How [`FppaPlatform::step`] visits components each cycle.
+///
+/// Both schedulers produce **bit-identical** simulations — same reports,
+/// same statistics, same packet-level timing. `Dense` is the reference
+/// implementation kept for differential testing; `ActiveSet` is the fast
+/// path used by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Reference scheduler: every component is ticked every cycle.
+    Dense,
+    /// Event-driven scheduler: only components that are busy or have work
+    /// due are ticked. Dormant PEs settle their busy/idle accounting in
+    /// bulk, quiescent service nodes and NoC scans are skipped, and
+    /// [`FppaPlatform::run`] fast-forwards over fully idle cycle spans.
+    #[default]
+    ActiveSet,
+}
+
+/// Process-wide default scheduler: 0 = unset, 1 = dense, 2 = active-set.
+static DEFAULT_SCHEDULER: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the scheduler mode newly built platforms start in (experiments
+/// construct their platforms internally, so differential tests flip this
+/// global to compare whole experiment tables across schedulers).
+pub fn set_default_scheduler_mode(mode: SchedulerMode) {
+    let v = match mode {
+        SchedulerMode::Dense => 1,
+        SchedulerMode::ActiveSet => 2,
+    };
+    DEFAULT_SCHEDULER.store(v, Ordering::SeqCst);
+}
+
+/// The scheduler mode newly built platforms start in: the value of
+/// [`set_default_scheduler_mode`] if set, else the `NANOWALL_SCHED`
+/// environment variable (`dense` / `active`), else [`SchedulerMode::ActiveSet`].
+pub fn default_scheduler_mode() -> SchedulerMode {
+    match DEFAULT_SCHEDULER.load(Ordering::SeqCst) {
+        1 => SchedulerMode::Dense,
+        2 => SchedulerMode::ActiveSet,
+        _ => match std::env::var("NANOWALL_SCHED") {
+            Ok(v) if v.eq_ignore_ascii_case("dense") => SchedulerMode::Dense,
+            Ok(v) if v.eq_ignore_ascii_case("active") || v.eq_ignore_ascii_case("activeset") => {
+                SchedulerMode::ActiveSet
+            }
+            Ok(v) => {
+                eprintln!("NANOWALL_SCHED={v} not recognized (dense|active); using active");
+                SchedulerMode::ActiveSet
+            }
+            Err(_) => SchedulerMode::ActiveSet,
+        },
+    }
+}
 
 /// What sits at one NoC endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +138,17 @@ pub struct FppaPlatform {
     hwip_parked: Vec<VecDeque<(u64, NodeId)>>,
     next_service_id: u64,
     pub(crate) runtime: Option<Runtime>,
+    scheduler: SchedulerMode,
+    /// Active-set scheduling: PEs that must be ticked this cycle. A `true`
+    /// entry is conservative (ticking a dormant PE is an accounting no-op);
+    /// a `false` entry is a guarantee the PE is dormant — every thread idle
+    /// or blocked on a platform completion — so skipping its tick and
+    /// bulk-settling the accounting later is bit-identical.
+    pe_active: Vec<bool>,
+    /// Lazily computed, cached hop matrix (the topology is immutable after
+    /// construction, so the cache never needs invalidation; rebuilding the
+    /// platform is the only way to change the topology).
+    hop_cache: OnceCell<Vec<Vec<f64>>>,
 }
 
 impl FppaPlatform {
@@ -159,6 +225,7 @@ impl FppaPlatform {
         let n_mems = mems.len();
         let n_fabrics = fabrics.len();
         let n_hwips = hwips.len();
+        let n_pes = pes.len();
         Ok(FppaPlatform {
             cfg,
             noc,
@@ -183,7 +250,26 @@ impl FppaPlatform {
             hwip_parked: (0..n_hwips).map(|_| VecDeque::new()).collect(),
             next_service_id: 0,
             runtime: None,
+            scheduler: default_scheduler_mode(),
+            pe_active: vec![true; n_pes],
+            hop_cache: OnceCell::new(),
         })
+    }
+
+    /// The scheduler in use.
+    pub fn scheduler_mode(&self) -> SchedulerMode {
+        self.scheduler
+    }
+
+    /// Switches scheduler. Both modes simulate identically (the active-set
+    /// scheduler is verified bit-identical against the dense reference), so
+    /// switching is safe at any point; pending active-set bookkeeping is
+    /// reset conservatively.
+    pub fn set_scheduler_mode(&mut self, mode: SchedulerMode) {
+        self.scheduler = mode;
+        for a in &mut self.pe_active {
+            *a = true;
+        }
     }
 
     /// The configuration the platform was built from.
@@ -257,10 +343,18 @@ impl FppaPlatform {
 
     /// Mutable access to a PE.
     ///
+    /// The PE is woken for active-set scheduling (the caller may spawn work
+    /// on it) and its busy/idle accounting is settled to the current cycle
+    /// before the reference is handed out, so external mutation composes
+    /// with lazily accounted skipped cycles.
+    ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn pe_mut(&mut self, i: usize) -> &mut Pe {
+        let now = self.clock.now();
+        self.pes[i].settle_accounting(now);
+        self.pe_active[i] = true;
         &mut self.pes[i]
     }
 
@@ -284,15 +378,24 @@ impl FppaPlatform {
 
     /// NoC hop-distance matrix over all endpoints (input for the MultiFlex
     /// mappers).
+    ///
+    /// The matrix is O(n²) `hops` walks to build, and mapper-heavy loops
+    /// (DSE sweeps) ask for it repeatedly, so it is computed once per
+    /// platform and cached; the topology is fixed at construction, so the
+    /// cache can never go stale.
     pub fn hop_matrix(&self) -> Vec<Vec<f64>> {
-        let n = self.roles.len();
-        (0..n)
-            .map(|a| {
+        self.hop_cache
+            .get_or_init(|| {
+                let n = self.roles.len();
                 (0..n)
-                    .map(|b| self.noc.topology().hops(a, b) as f64)
+                    .map(|a| {
+                        (0..n)
+                            .map(|b| self.noc.topology().hops(a, b) as f64)
+                            .collect()
+                    })
                     .collect()
             })
-            .collect()
+            .clone()
     }
 
     /// Total die area of the declared components (PE cores + memory macros +
@@ -315,16 +418,45 @@ impl FppaPlatform {
     }
 
     /// Runs the platform for `cycles` cycles and reports.
+    ///
+    /// Under [`SchedulerMode::ActiveSet`] fully idle cycle spans are
+    /// fast-forwarded: when nothing is due (no busy PE, no queued or
+    /// in-flight NoC traffic, no busy service node, no pending dispatch)
+    /// the clock jumps straight to the next timed event instead of
+    /// stepping cycle by cycle. I/O pacing keeps its per-cycle credit
+    /// arithmetic, so results stay bit-identical to the dense scheduler.
     pub fn run(&mut self, cycles: u64) -> PlatformReport {
         let start = self.clock.now();
-        for _ in 0..cycles {
-            self.step();
+        match self.scheduler {
+            SchedulerMode::Dense => {
+                for _ in 0..cycles {
+                    self.step_dense();
+                }
+            }
+            SchedulerMode::ActiveSet => {
+                let end = Cycles(start.0 + cycles);
+                while self.clock.now() < end {
+                    if self.cycle_is_idle() {
+                        self.idle_hop(end);
+                    } else {
+                        self.step_active();
+                    }
+                }
+            }
         }
         self.report(self.clock.now().saturating_sub(start))
     }
 
-    /// Advances the platform by one cycle.
+    /// Advances the platform by one cycle under the configured scheduler.
     pub fn step(&mut self) {
+        match self.scheduler {
+            SchedulerMode::Dense => self.step_dense(),
+            SchedulerMode::ActiveSet => self.step_active(),
+        }
+    }
+
+    /// The dense reference scheduler: every component ticks every cycle.
+    fn step_dense(&mut self) {
         let now = self.clock.now();
 
         // 1. I/O pacing and ingress injection.
@@ -340,7 +472,7 @@ impl FppaPlatform {
         self.route_arrivals(now);
 
         // 4. Service nodes: memories, fabrics, hardwired IP.
-        self.tick_services(now);
+        self.tick_services(now, false);
 
         // 5. DSOC drives and dispatch.
         self.runtime_dispatch(now);
@@ -355,6 +487,180 @@ impl FppaPlatform {
         self.flush_outbox(now);
 
         self.clock.advance();
+    }
+
+    /// The active-set scheduler: the same phase order as the dense step,
+    /// but each phase only visits components that can actually do work.
+    /// Skipped components would have ticked as no-ops (or, for dormant
+    /// PEs, pure busy/idle accounting that is settled in bulk later), so
+    /// the simulation is bit-identical to [`FppaPlatform::step_dense`].
+    fn step_active(&mut self) {
+        let now = self.clock.now();
+
+        // 1. I/O pacing always ticks: the line-rate credit accumulator is
+        //    per-cycle f64 arithmetic that must replay exactly.
+        for i in 0..self.ios.len() {
+            self.ios[i].tick(now);
+        }
+        self.io_ingress(now);
+
+        // 2. The interconnect, when anything is queued or in flight.
+        if self.noc.has_work() {
+            self.noc.tick(now);
+        }
+
+        // 3. Route arrivals, when a delivered packet awaits ejection.
+        if self.noc.eject_pending() > 0 {
+            self.route_arrivals(now);
+        }
+
+        // 4. Service nodes with work (busy pipelines or parked retries).
+        self.tick_services(now, true);
+
+        // 5. DSOC drives and dispatch.
+        self.runtime_dispatch(now);
+
+        // 6. Active PEs execute; dormant ones keep sleeping and settle
+        //    their accounting in bulk when they wake or at report time.
+        for p in 0..self.pes.len() {
+            if self.pe_active[p] {
+                self.pes[p].tick(now);
+                self.pe_active[p] = self.pes[p].is_live();
+            }
+        }
+        self.collect_pe_requests();
+
+        // 7. Flush the injection retry queue.
+        if !self.outbox.is_empty() {
+            self.flush_outbox(now);
+        }
+
+        self.clock.advance();
+    }
+
+    /// Whether the upcoming cycle is provably a no-op for everything except
+    /// I/O pacing credit: no active PE, empty outbox, no NoC or service
+    /// work due, no dispatch backlog or entry pacing, and no bound I/O
+    /// channel holding (or about to produce) ingress traffic.
+    fn cycle_is_idle(&self) -> bool {
+        let now = self.clock.now();
+        if self.pe_active.iter().any(|&a| a) || !self.outbox.is_empty() {
+            return false;
+        }
+        if self.noc.eject_pending() > 0 || self.noc.next_event_cycle(now).is_some_and(|t| t <= now)
+        {
+            return false;
+        }
+        if let Some(rt) = self.runtime.as_ref() {
+            if rt.has_pacing() || rt.has_dispatch_work() {
+                return false;
+            }
+            for (i, io) in self.ios.iter().enumerate() {
+                if rt.io_has_bindings(i) && (io.rx_backlog() > 0 || io.rx_due_next_tick()) {
+                    return false;
+                }
+            }
+        }
+        let mems_quiet = self
+            .mems
+            .iter()
+            .zip(&self.mem_parked)
+            .all(|(m, parked)| parked.is_empty() && m.is_idle());
+        let fabrics_quiet = self
+            .fabrics
+            .iter()
+            .zip(&self.fabric_parked)
+            .all(|(f, parked)| parked.is_empty() && f.is_idle());
+        let hwips_quiet = self
+            .hwips
+            .iter()
+            .zip(&self.hwip_parked)
+            .all(|(h, parked)| parked.is_empty() && h.is_idle());
+        mems_quiet && fabrics_quiet && hwips_quiet
+    }
+
+    /// Advances over an idle span. Without I/O channels the clock jumps
+    /// straight to the next timed event (or `end`); with I/O channels the
+    /// pacing credit must accumulate cycle by cycle, so the hop advances one
+    /// cycle ticking only the pacers.
+    fn idle_hop(&mut self, end: Cycles) {
+        let now = self.clock.now();
+        if self.ios.is_empty() {
+            let target = self
+                .next_event_cycle()
+                .map_or(end, |t| t.min(end))
+                .max(Cycles(now.0 + 1));
+            self.clock.advance_by(Cycles(target.0 - now.0));
+        } else {
+            for i in 0..self.ios.len() {
+                self.ios[i].tick(now);
+            }
+            self.clock.advance();
+        }
+    }
+
+    /// The earliest cycle `>=` now at which any platform component has work
+    /// due, or `None` when the platform is completely drained. Spans before
+    /// the returned cycle are safe to skip (given idle I/O pacing): the
+    /// dense scheduler would tick through them without changing state.
+    pub fn next_event_cycle(&self) -> Option<Cycles> {
+        let now = self.clock.now();
+        let mut next: Option<Cycles> = None;
+        let mut fold = |c: Option<Cycles>| {
+            next = match (next, c) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        };
+        if self.pe_active.iter().any(|&a| a)
+            || !self.outbox.is_empty()
+            || self.noc.eject_pending() > 0
+            || self
+                .runtime
+                .as_ref()
+                .is_some_and(|rt| rt.has_pacing() || rt.has_dispatch_work())
+        {
+            fold(Some(now));
+        }
+        // Paced I/O is per-cycle state; any non-drained channel means the
+        // next cycle is an event.
+        if self
+            .ios
+            .iter()
+            .any(|io| io.config().bits_per_cycle() > 0.0 || io.rx_backlog() > 0)
+        {
+            fold(Some(Cycles(now.0 + 1)));
+        }
+        fold(self.noc.next_event_cycle(now));
+        for (m, parked) in self.mems.iter().zip(&self.mem_parked) {
+            if !parked.is_empty() {
+                fold(Some(now));
+            } else {
+                fold(m.next_event_cycle(now));
+            }
+        }
+        for (f, parked) in self.fabrics.iter().zip(&self.fabric_parked) {
+            if !parked.is_empty() || !f.is_idle() {
+                fold(Some(now));
+            }
+        }
+        for (h, parked) in self.hwips.iter().zip(&self.hwip_parked) {
+            if !parked.is_empty() || !h.is_idle() {
+                fold(Some(now));
+            }
+        }
+        next
+    }
+
+    /// Settles all lazily accounted busy/idle statistics up to the current
+    /// cycle. Called automatically by [`FppaPlatform::report`]; call it
+    /// directly before reading [`Pe::stats`] on a manually stepped platform
+    /// running the active-set scheduler.
+    pub fn settle(&mut self) {
+        let now = self.clock.now();
+        for pe in &mut self.pes {
+            pe.settle_accounting(now);
+        }
     }
 
     /// Drains line-rate ingress into DSOC invocations (runtime present) or
@@ -387,6 +693,9 @@ impl FppaPlatform {
                     NodeRole::Pe(p) => {
                         if is_reply(pkt.tag) {
                             let t = RequestTag::decode(pkt.tag);
+                            // Data-driven wake: the completion makes a
+                            // blocked thread runnable again.
+                            self.pe_active[p] = true;
                             self.pes[p].complete(t.tid);
                         } else if let Some(rt) = self.runtime.as_mut() {
                             rt.enqueue_invocation(p, &pkt);
@@ -443,9 +752,15 @@ impl FppaPlatform {
         }
     }
 
-    fn tick_services(&mut self, now: Cycles) {
+    /// Ticks the service nodes. With `active_only`, nodes that are provably
+    /// quiescent (idle pipeline, nothing parked) are skipped — their tick
+    /// would be a no-op, so both settings simulate identically.
+    fn tick_services(&mut self, now: Cycles, active_only: bool) {
         // Memories: retry parked, tick, answer completions.
         for m in 0..self.mems.len() {
+            if active_only && self.mem_parked[m].is_empty() && self.mems[m].is_idle() {
+                continue;
+            }
             while let Some(&(req, tag, src)) = self.mem_parked[m].front() {
                 if self.mems[m].submit(req, now).is_ok() {
                     self.mem_inflight[m].insert(req.id, (tag, src));
@@ -462,6 +777,9 @@ impl FppaPlatform {
             }
         }
         for f in 0..self.fabrics.len() {
+            if active_only && self.fabric_parked[f].is_empty() && self.fabrics[f].is_idle() {
+                continue;
+            }
             while let Some(&(tag, src)) = self.fabric_parked[f].front() {
                 let id = self.next_service_id;
                 if self.fabrics[f].try_submit(id, now).is_ok() {
@@ -480,6 +798,9 @@ impl FppaPlatform {
             }
         }
         for h in 0..self.hwips.len() {
+            if active_only && self.hwip_parked[h].is_empty() && self.hwips[h].is_idle() {
+                continue;
+            }
             while let Some(&(tag, src)) = self.hwip_parked[h].front() {
                 let id = self.next_service_id;
                 if self.hwips[h].try_submit(id, now).is_ok() {
@@ -515,12 +836,15 @@ impl FppaPlatform {
             return;
         };
         rt.drive(now);
-        rt.dispatch(&mut self.pes);
+        rt.dispatch(&mut self.pes, now, &mut self.pe_active);
         self.runtime = Some(rt);
     }
 
     fn collect_pe_requests(&mut self) {
         for p in 0..self.pes.len() {
+            if !self.pes[p].has_requests() {
+                continue;
+            }
             let src = self.pe_nodes[p];
             for (tid, req) in self.pes[p].take_requests() {
                 match req {
@@ -582,6 +906,8 @@ impl FppaPlatform {
                 .try_inject(out.src, out.dst, out.data, out.tag, now)
                 .expect("NI space was checked and platform nodes are valid");
             if let Some((pe, tid)) = out.on_accept {
+                // Data-driven wake: the NI accepted the async send.
+                self.pe_active[pe.0] = true;
                 self.pes[pe.0].complete(tid);
             }
         }
@@ -589,7 +915,11 @@ impl FppaPlatform {
     }
 
     /// Builds the report for the last `elapsed` cycles of activity.
-    pub fn report(&self, elapsed: Cycles) -> PlatformReport {
+    ///
+    /// Takes `&mut self` because the active-set scheduler defers busy/idle
+    /// accounting for dormant PEs; reporting settles it first.
+    pub fn report(&mut self, elapsed: Cycles) -> PlatformReport {
+        self.settle();
         PlatformReport::collect(self, elapsed)
     }
 

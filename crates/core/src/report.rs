@@ -5,7 +5,7 @@ use nw_noc::NocStats;
 use nw_types::{Cycles, Picojoules};
 
 /// Per-I/O-channel figures.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IoReport {
     /// Packets the wire delivered (including dropped ones).
     pub generated: u64,
@@ -18,7 +18,10 @@ pub struct IoReport {
 /// Summary of one platform run.
 ///
 /// Collected by [`FppaPlatform::run`] / [`FppaPlatform::report`].
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field exactly (f64s bit-for-bit via `==`), so
+/// the scheduler differential tests can assert two runs are identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlatformReport {
     /// Cycles covered by the report.
     pub cycles: Cycles,

@@ -22,6 +22,7 @@ use nw_pe::{KernelDomain, Op, Pe, Program};
 use nw_types::{Cycles, NodeId, ObjectId};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from installing an application or configuring drives.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +107,43 @@ struct Drive {
     acc: f64,
 }
 
+/// One downstream call edge of a handler, resolved once: the callee's
+/// marshalling footprint and hosting node never change after installation,
+/// so synthesis only applies the per-invocation fractional-multiplicity
+/// carry and fresh sequence numbers.
+#[derive(Debug, Clone, PartialEq)]
+struct EdgePlan {
+    /// Index into the application's edge list (the carry accumulator slot).
+    edge_idx: usize,
+    calls_per_invocation: f64,
+    to: ObjectId,
+    to_method: MethodId,
+    /// Node hosting the callee.
+    dst: NodeId,
+    /// Callee argument bytes (message body size).
+    arg_bytes: u64,
+    twoway: bool,
+    /// Expected reply size for twoway calls (callee reply + wire header).
+    call_reply_bytes: u64,
+}
+
+/// The memoized static skeleton of one `(object, method)` handler.
+///
+/// Synthesizing a handler used to re-walk every application edge and clone
+/// the method descriptor per invocation; the plan hoists all of that out so
+/// the per-invocation work is just op emission.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct HandlerPlan {
+    domain: Domain,
+    local_bytes: u64,
+    service: Option<ServiceBinding>,
+    compute_cycles: u64,
+    edges: Vec<EdgePlan>,
+    /// This method's reply body size (twoway answers).
+    reply_body_bytes: u64,
+    egress: Option<(NodeId, u64)>,
+}
+
 /// The installed-application runtime state.
 #[derive(Debug)]
 pub struct Runtime {
@@ -126,6 +164,13 @@ pub struct Runtime {
     services: HashMap<ObjectId, ServiceBinding>,
     /// Fractional call-multiplicity carry per edge index.
     edge_carry: Vec<f64>,
+    /// Memoized handler skeletons per (object, method).
+    plans: HashMap<(ObjectId, MethodId), Arc<HandlerPlan>>,
+    /// Plan-cache hits (observability for the memoization tests).
+    plan_hits: u64,
+    /// Invocations queued across all per-PE dispatch queues (so the
+    /// dispatcher can skip the whole scan when nothing is pending).
+    pending_total: usize,
     seq: u32,
     /// Invocations that arrived but could not be decoded (protocol errors).
     pub decode_errors: u64,
@@ -170,6 +215,9 @@ impl Runtime {
             egress: HashMap::new(),
             services: HashMap::new(),
             edge_carry: vec![0.0; n_edges],
+            plans: HashMap::new(),
+            plan_hits: 0,
+            pending_total: 0,
             seq: 0,
             decode_errors: 0,
             dispatched: 0,
@@ -238,6 +286,8 @@ impl Runtime {
             return Err(InstallError::UnknownObject(object));
         }
         self.egress.insert(object, (io_node, packet_bytes));
+        // Bindings are baked into the memoized handler skeletons.
+        self.plans.clear();
         Ok(())
     }
 
@@ -250,6 +300,8 @@ impl Runtime {
             return Err(InstallError::UnknownObject(object));
         }
         self.services.insert(object, binding);
+        // Bindings are baked into the memoized handler skeletons.
+        self.plans.clear();
         Ok(())
     }
 
@@ -321,6 +373,7 @@ impl Runtime {
             method: msg.method,
             reply_to,
         });
+        self.pending_total += 1;
     }
 
     /// Advances the deterministic entry drives.
@@ -336,28 +389,61 @@ impl Runtime {
                     method,
                     reply_to: None,
                 });
+                self.pending_total += 1;
             }
         }
     }
 
+    /// Whether entry drives are installed (their per-cycle rate accumulators
+    /// must advance every cycle, so the platform cannot fast-forward).
+    pub(crate) fn has_pacing(&self) -> bool {
+        !self.drives.is_empty()
+    }
+
+    /// Whether the dispatcher has anything to do this cycle: queued
+    /// invocations, or saturation entries that refill every cycle.
+    pub(crate) fn has_dispatch_work(&self) -> bool {
+        self.pending_total > 0 || !self.saturate.is_empty()
+    }
+
     /// Dispatches queued invocations (and saturation refills) onto idle
     /// hardware threads.
-    pub(crate) fn dispatch(&mut self, pes: &mut [Pe]) {
-        for (p, pe) in pes.iter_mut().enumerate() {
-            while pe.idle_threads() > 0 {
-                let Some(inv) = self.dispatch[p].pop_front() else {
-                    break;
-                };
-                let prog = self.synthesize(&inv);
-                pe.spawn(prog).expect("idle thread count was checked");
-                self.dispatched += 1;
-                self.dispatched_per_object[inv.object.0] += 1;
+    ///
+    /// Only PEs with pending work are visited (an active-set skip that is
+    /// behaviour-identical to the dense scan, since a PE with an empty queue
+    /// is a no-op there). Each PE spawned on is flagged in `woken` so the
+    /// platform's active-set scheduler ticks it this cycle, and its lazy
+    /// busy/idle accounting is settled before the spawn flips a thread
+    /// from idle to ready.
+    pub(crate) fn dispatch(&mut self, pes: &mut [Pe], now: Cycles, woken: &mut [bool]) {
+        if self.pending_total > 0 {
+            for (p, pe) in pes.iter_mut().enumerate() {
+                if self.dispatch[p].is_empty() || pe.idle_threads() == 0 {
+                    continue;
+                }
+                pe.settle_accounting(now);
+                while pe.idle_threads() > 0 {
+                    let Some(inv) = self.dispatch[p].pop_front() else {
+                        break;
+                    };
+                    self.pending_total -= 1;
+                    let prog = self.synthesize(&inv);
+                    pe.spawn(prog).expect("idle thread count was checked");
+                    woken[p] = true;
+                    self.dispatched += 1;
+                    self.dispatched_per_object[inv.object.0] += 1;
+                }
             }
         }
         // Saturation mode: keep every context of the hosting PE occupied.
         for k in 0..self.saturate.len() {
             let (object, method) = self.saturate[k];
             let pe = self.placement[object.0];
+            if pes[pe].idle_threads() == 0 {
+                continue;
+            }
+            pes[pe].settle_accounting(now);
+            woken[pe] = true;
             while pes[pe].idle_threads() > 0 {
                 let prog = self.synthesize(&PendingInvocation {
                     object,
@@ -371,20 +457,75 @@ impl Runtime {
         }
     }
 
-    /// Synthesizes the handler program for one invocation.
+    /// Returns the memoized handler skeleton for `(object, method)`,
+    /// building and caching it on first use. The plan resolves everything
+    /// static about the handler — method descriptor fields, service
+    /// binding, the method's outgoing call edges with their destinations,
+    /// reply and egress hand-offs — so per-invocation synthesis no longer
+    /// walks the application's full edge list.
+    fn plan_for(&mut self, object: ObjectId, method: MethodId) -> Arc<HandlerPlan> {
+        if let Some(p) = self.plans.get(&(object, method)) {
+            self.plan_hits += 1;
+            return Arc::clone(p);
+        }
+        let m = self.app.method(object, method);
+        let edges = self
+            .app
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.from == object && e.from_method == method)
+            .map(|(i, e)| {
+                let callee = self.app.method(e.to, e.to_method);
+                EdgePlan {
+                    edge_idx: i,
+                    calls_per_invocation: e.calls_per_invocation,
+                    to: e.to,
+                    to_method: e.to_method,
+                    dst: self
+                        .broker
+                        .resolve(e.to)
+                        .expect("placed objects are registered"),
+                    arg_bytes: callee.arg_bytes,
+                    twoway: callee.is_twoway(),
+                    call_reply_bytes: callee.reply_bytes + Message::HEADER_LEN as u64,
+                }
+            })
+            .collect();
+        let plan = Arc::new(HandlerPlan {
+            domain: m.domain,
+            local_bytes: m.local_bytes,
+            service: self.services.get(&object).copied(),
+            compute_cycles: m.compute_cycles,
+            edges,
+            reply_body_bytes: m.reply_bytes,
+            egress: self.egress.get(&object).copied(),
+        });
+        self.plans.insert((object, method), Arc::clone(&plan));
+        plan
+    }
+
+    /// `(hits, cached plans)` of the handler-plan cache.
+    pub fn plan_cache_stats(&self) -> (u64, usize) {
+        (self.plan_hits, self.plans.len())
+    }
+
+    /// Synthesizes the handler program for one invocation from its memoized
+    /// plan; only the fractional-multiplicity carry and message sequence
+    /// numbers vary between invocations of the same `(object, method)`.
     fn synthesize(&mut self, inv: &PendingInvocation) -> Program {
-        let method = self.app.method(inv.object, inv.method).clone();
+        let plan = self.plan_for(inv.object, inv.method);
         let mut ops = Vec::new();
-        if method.local_bytes > 0 {
+        if plan.local_bytes > 0 {
             ops.push(Op::LocalMem {
                 write: false,
-                bytes: method.local_bytes,
+                bytes: plan.local_bytes,
             });
         }
         // Service offloads precede the compute burst: the handler fetches
         // its operands (reference windows, cipher blocks) from the bound
         // service node, blocking the thread per round trip.
-        if let Some(&svc) = self.services.get(&inv.object) {
+        if let Some(svc) = plan.service {
             for _ in 0..svc.calls {
                 ops.push(Op::Call {
                     dst: svc.node,
@@ -394,46 +535,30 @@ impl Runtime {
                 });
             }
         }
-        if method.compute_cycles > 0 {
-            ops.push(Op::Compute(method.compute_cycles));
+        if plan.compute_cycles > 0 {
+            ops.push(Op::Compute(plan.compute_cycles));
         }
         // Downstream calls, with deterministic fractional-multiplicity carry.
-        let edges: Vec<(usize, nw_dsoc::CallEdge)> = self
-            .app
-            .edges()
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.from == inv.object && e.from_method == inv.method)
-            .map(|(i, e)| (i, *e))
-            .collect();
-        for (ei, edge) in edges {
-            self.edge_carry[ei] += edge.calls_per_invocation;
-            let count = self.edge_carry[ei].floor() as u64;
-            self.edge_carry[ei] -= count as f64;
-            let callee = self.app.method(edge.to, edge.to_method).clone();
-            let dst = self
-                .broker
-                .resolve(edge.to)
-                .expect("placed objects are registered");
+        for e in &plan.edges {
+            self.edge_carry[e.edge_idx] += e.calls_per_invocation;
+            let count = self.edge_carry[e.edge_idx].floor() as u64;
+            self.edge_carry[e.edge_idx] -= count as f64;
             for _ in 0..count {
-                let msg = Message::invocation(
-                    edge.to,
-                    edge.to_method,
-                    self.next_seq(),
-                    vec![0u8; callee.arg_bytes as usize],
-                );
+                let seq = self.next_seq();
+                let msg =
+                    Message::invocation(e.to, e.to_method, seq, vec![0u8; e.arg_bytes as usize]);
                 let data = msg.encode();
                 let bytes = data.len() as u64;
-                if callee.is_twoway() {
+                if e.twoway {
                     ops.push(Op::Call {
-                        dst,
+                        dst: e.dst,
                         bytes,
-                        reply_bytes: callee.reply_bytes + Message::HEADER_LEN as u64,
+                        reply_bytes: e.call_reply_bytes,
                         data,
                     });
                 } else {
                     ops.push(Op::Send {
-                        dst,
+                        dst: e.dst,
                         bytes,
                         data,
                         tag: 0,
@@ -447,7 +572,7 @@ impl Runtime {
                 inv.object,
                 inv.method,
                 self.next_seq(),
-                vec![0u8; method.reply_bytes as usize],
+                vec![0u8; plan.reply_body_bytes as usize],
             );
             let data = msg.encode();
             let bytes = data.len() as u64;
@@ -459,7 +584,7 @@ impl Runtime {
             });
         }
         // Egress hand-off.
-        if let Some(&(io_node, packet_bytes)) = self.egress.get(&inv.object) {
+        if let Some((io_node, packet_bytes)) = plan.egress {
             ops.push(Op::Send {
                 dst: io_node,
                 bytes: packet_bytes,
@@ -467,12 +592,12 @@ impl Runtime {
                 tag: 0,
             });
         }
-        Program::new(ops, domain_to_kernel(method.domain))
+        Program::new(ops, domain_to_kernel(plan.domain))
     }
 
     /// Invocations currently queued (all PEs).
     pub fn queued_invocations(&self) -> usize {
-        self.dispatch.iter().map(|q| q.len()).sum()
+        self.pending_total
     }
 }
 
@@ -622,5 +747,155 @@ impl FppaPlatform {
     /// The installed runtime, if any.
     pub fn runtime(&self) -> Option<&Runtime> {
         self.runtime.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nw_dsoc::{MethodDef, ObjectDef};
+
+    /// Caller (twoway, with local state and compute) fanning out two calls
+    /// per invocation to a oneway sink — exercises every plan section.
+    fn two_stage_app() -> Application {
+        let mut b = Application::builder("memo");
+        let a = b.add_object(
+            ObjectDef::new("a").with_method(
+                MethodDef::twoway("go", 16, 8)
+                    .with_compute(40)
+                    .with_local_bytes(32),
+            ),
+        );
+        let c = b.add_object(ObjectDef::new("c").with_method(MethodDef::oneway("sink", 24)));
+        b.connect(a, 0, c, 0, 2.0);
+        b.entry(a, 0);
+        b.build().expect("valid test app")
+    }
+
+    fn runtime() -> Runtime {
+        let pe_nodes = [NodeId(0), NodeId(1)];
+        Runtime::new(two_stage_app(), vec![0, 1], &pe_nodes, 2, 0).expect("valid placement")
+    }
+
+    /// Op equality modulo marshalled payload bytes (sequence numbers vary
+    /// between invocations by design; everything timing-relevant must not).
+    fn same_shape(a: &Op, b: &Op) -> bool {
+        match (a, b) {
+            (Op::Compute(x), Op::Compute(y)) => x == y,
+            (
+                Op::LocalMem {
+                    write: wa,
+                    bytes: ba,
+                },
+                Op::LocalMem {
+                    write: wb,
+                    bytes: bb,
+                },
+            ) => wa == wb && ba == bb,
+            (
+                Op::Send {
+                    dst: da,
+                    bytes: ba,
+                    tag: ta,
+                    data: xa,
+                },
+                Op::Send {
+                    dst: db,
+                    bytes: bb,
+                    tag: tb,
+                    data: xb,
+                },
+            ) => da == db && ba == bb && ta == tb && xa.len() == xb.len(),
+            (
+                Op::Call {
+                    dst: da,
+                    bytes: ba,
+                    reply_bytes: ra,
+                    data: xa,
+                },
+                Op::Call {
+                    dst: db,
+                    bytes: bb,
+                    reply_bytes: rb,
+                    data: xb,
+                },
+            ) => da == db && ba == bb && ra == rb && xa.len() == xb.len(),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn handler_plan_cache_returns_identical_programs() {
+        let mut rt = runtime();
+        let inv = PendingInvocation {
+            object: ObjectId(0),
+            method: MethodId(0),
+            reply_to: None,
+        };
+        let first = rt.synthesize(&inv);
+        let (hits_after_first, plans) = rt.plan_cache_stats();
+        assert_eq!(plans, 1, "one plan per (object, method)");
+        let second = rt.synthesize(&inv);
+        let (hits_after_second, plans) = rt.plan_cache_stats();
+        assert_eq!(plans, 1, "second synthesis reuses the cached plan");
+        assert!(hits_after_second > hits_after_first, "cache must hit");
+
+        // Identical programs: same length, domain and op timing shape
+        // (2.0 calls/invocation is integral, so the carry emits exactly
+        // two downstream sends every time).
+        assert_eq!(first.len(), second.len());
+        assert_eq!(first.domain(), second.domain());
+        for (x, y) in first.ops().iter().zip(second.ops()) {
+            assert!(same_shape(x, y), "{x:?} vs {y:?}");
+        }
+
+        // And the cached path is byte-identical to a cold runtime at the
+        // same sequence state.
+        let mut cold = runtime();
+        let cold_first = cold.synthesize(&inv);
+        assert_eq!(first, cold_first);
+    }
+
+    #[test]
+    fn plan_is_shared_not_rebuilt() {
+        let mut rt = runtime();
+        let a = rt.plan_for(ObjectId(0), MethodId(0));
+        let b = rt.plan_for(ObjectId(0), MethodId(0));
+        assert!(Arc::ptr_eq(&a, &b), "plan must be cached, not rebuilt");
+    }
+
+    #[test]
+    fn binding_changes_invalidate_plans() {
+        let mut rt = runtime();
+        let before = rt.plan_for(ObjectId(0), MethodId(0));
+        assert!(before.service.is_none());
+        rt.bind_service(
+            ObjectId(0),
+            ServiceBinding {
+                node: NodeId(1),
+                request_bytes: 8,
+                reply_bytes: 64,
+                calls: 3,
+            },
+        )
+        .expect("object exists");
+        let after = rt.plan_for(ObjectId(0), MethodId(0));
+        assert!(!Arc::ptr_eq(&before, &after), "bind must invalidate");
+        assert_eq!(
+            after.service,
+            Some(ServiceBinding {
+                node: NodeId(1),
+                request_bytes: 8,
+                reply_bytes: 64,
+                calls: 3,
+            })
+        );
+        // The synthesized handler now front-loads the three service calls.
+        let prog = rt.synthesize(&PendingInvocation {
+            object: ObjectId(0),
+            method: MethodId(0),
+            reply_to: None,
+        });
+        assert_eq!(prog.call_count(), 3);
     }
 }

@@ -106,6 +106,9 @@ pub fn latency_hiding(
             // as measurement noise on long runs.
         }
     }
+    // The active-set scheduler accounts dormant-PE cycles lazily; settle
+    // before reading the utilization counters.
+    platform.settle();
     let stats = platform.pe(0).stats();
     LatencyHidingPoint {
         threads,

@@ -194,6 +194,17 @@ impl MemoryController {
             && self.ready.is_empty()
             && self.banks.iter().all(|b| b.queue.is_empty())
     }
+
+    /// The earliest cycle `>= now` at which ticking the controller can
+    /// change state, or `None` when it is fully drained. Conservative:
+    /// queued bank work or surfaced responses answer `now`, in-flight
+    /// accesses answer their completion time.
+    pub fn next_event_cycle(&self, now: Cycles) -> Option<Cycles> {
+        if !self.ready.is_empty() || self.banks.iter().any(|b| !b.queue.is_empty()) {
+            return Some(now);
+        }
+        self.completions.next_due().map(|d| d.max(now))
+    }
 }
 
 impl Clocked for MemoryController {

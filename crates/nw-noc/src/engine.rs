@@ -101,7 +101,7 @@ struct Arrival {
 }
 
 /// Aggregate NoC statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NocStats {
     /// Packets accepted into NI queues.
     pub injected: u64,
@@ -150,6 +150,15 @@ pub struct Noc {
     refused: Counter,
     flit_hops: Counter,
     latency: Histogram,
+    /// Packets waiting in NI queues across all endpoints. Lets `drain_ni`
+    /// skip the per-endpoint scan entirely on quiescent cycles (the same
+    /// active-set treatment the transmit scan's `queued` counter provides).
+    ni_pending: usize,
+    /// Packets queued on output ports across all routers (sum of the
+    /// per-router `queued` counters) — the transmit scan's global gate.
+    queued_total: usize,
+    /// Packets delivered but not yet taken via [`Noc::eject`].
+    eject_pending: usize,
 }
 
 impl Noc {
@@ -198,6 +207,9 @@ impl Noc {
             refused: Counter::new(),
             flit_hops: Counter::new(),
             latency: Histogram::new(),
+            ni_pending: 0,
+            queued_total: 0,
+            eject_pending: 0,
         }
     }
 
@@ -251,6 +263,7 @@ impl Noc {
             tag,
             injected_at: now,
         });
+        self.ni_pending += 1;
         self.injected.incr();
         Ok(id)
     }
@@ -265,7 +278,36 @@ impl Noc {
 
     /// Takes the next delivered packet at endpoint `node`, if any.
     pub fn eject(&mut self, node: NodeId) -> Option<Packet> {
-        self.routers.get_mut(node.0)?.eject.pop_front()
+        let p = self.routers.get_mut(node.0)?.eject.pop_front();
+        if p.is_some() {
+            self.eject_pending -= 1;
+        }
+        p
+    }
+
+    /// Packets delivered but not yet taken via [`Noc::eject`] — zero means
+    /// an arrival-routing sweep over the endpoints would be a no-op.
+    pub fn eject_pending(&self) -> usize {
+        self.eject_pending
+    }
+
+    /// Whether ticking the engine now could move anything: a timed transfer
+    /// is in flight, an NI holds packets awaiting injection, or an output
+    /// port holds queued packets. Eject queues don't count — draining them
+    /// is the caller's move, not the tick's.
+    pub fn has_work(&self) -> bool {
+        !self.arrivals.is_empty() || self.ni_pending > 0 || self.queued_total > 0
+    }
+
+    /// The earliest cycle `>= now` at which ticking can change engine state,
+    /// or `None` when the fabric is completely drained. Conservative: queued
+    /// NI or port traffic answers `now` even if back-pressure would stall it
+    /// this cycle, so skipping to the returned cycle never overshoots.
+    pub fn next_event_cycle(&self, now: Cycles) -> Option<Cycles> {
+        if self.ni_pending > 0 || self.queued_total > 0 {
+            return Some(now);
+        }
+        self.arrivals.next_due().map(|d| d.max(now))
     }
 
     /// Packets accepted but not yet delivered to an eject queue.
@@ -298,6 +340,7 @@ impl Noc {
         self.delivered.incr();
         self.latency.record(now.saturating_sub(packet.injected_at));
         self.routers[router].eject.push_back(packet);
+        self.eject_pending += 1;
     }
 
     fn drain_arrivals(&mut self, now: Cycles) {
@@ -314,16 +357,26 @@ impl Noc {
                 // The packet keeps its reserved buffer slot while queued.
                 self.routers[router].ports[port].queue.push_back(packet);
                 self.routers[router].queued += 1;
+                self.queued_total += 1;
             }
         }
     }
 
     fn drain_ni(&mut self, now: Cycles) {
+        // Quiescent-NI skip: no endpoint holds injection traffic, so the
+        // per-endpoint scan below would be all no-ops.
+        if self.ni_pending == 0 {
+            return;
+        }
         for r in 0..self.topo.n_endpoints() {
+            if self.routers[r].ni_in.is_empty() {
+                continue;
+            }
             while let Some(front_dst) = self.routers[r].ni_in.front().map(|p| p.dst) {
                 if front_dst.0 == r {
                     // Local delivery bypasses the fabric entirely.
                     let p = self.routers[r].ni_in.pop_front().expect("checked front");
+                    self.ni_pending -= 1;
                     self.deliver(r, p, now);
                     continue;
                 }
@@ -332,6 +385,7 @@ impl Noc {
                     break;
                 }
                 let p = self.routers[r].ni_in.pop_front().expect("checked front");
+                self.ni_pending -= 1;
                 let port = self
                     .topo
                     .next_hop(r, p.dst.0)
@@ -339,6 +393,7 @@ impl Noc {
                 self.routers[r].input_free -= 1;
                 self.routers[r].ports[port].queue.push_back(p);
                 self.routers[r].queued += 1;
+                self.queued_total += 1;
             }
         }
     }
@@ -348,6 +403,7 @@ impl Noc {
     fn fire(&mut self, r: usize, p: usize, now: Cycles) {
         debug_assert!(self.routers[r].queued > 0, "fire on a quiescent router");
         self.routers[r].queued -= 1;
+        self.queued_total -= 1;
         let (packet, to, ser, wire_lat) = {
             let port = &mut self.routers[r].ports[p];
             let packet = port.queue.pop_front().expect("caller checked non-empty");
@@ -366,6 +422,10 @@ impl Noc {
     }
 
     fn transmit(&mut self, now: Cycles) {
+        // Quiescent-fabric skip: no router holds queued output traffic.
+        if self.queued_total == 0 {
+            return;
+        }
         for r in 0..self.routers.len() {
             // Quiescent-router skip: nothing queued on any output port
             // means nothing can fire — don't walk the ports.
@@ -633,9 +693,17 @@ mod tests {
                 let actual: usize = r.ports.iter().map(|p| p.queue.len()).sum();
                 assert_eq!(r.queued, actual);
             }
+            // The active-set gate counters track the ground truth exactly.
+            let ni_actual: usize = noc.routers.iter().map(|r| r.ni_in.len()).sum();
+            assert_eq!(noc.ni_pending, ni_actual);
+            let queued_actual: usize = noc.routers.iter().map(|r| r.queued).sum();
+            assert_eq!(noc.queued_total, queued_actual);
+            let eject_actual: usize = noc.routers.iter().map(|r| r.eject.len()).sum();
+            assert_eq!(noc.eject_pending(), eject_actual);
             for e in 0..16 {
                 while noc.eject(NodeId(e)).is_some() {}
             }
+            assert_eq!(noc.eject_pending(), 0);
             now += Cycles(1);
         }
         // Drain and confirm the counters return to zero with quiescence.
@@ -648,6 +716,40 @@ mod tests {
             assert!(now.0 < 100_000);
         }
         assert!(noc.routers.iter().all(|r| r.queued == 0));
+        assert!(!noc.has_work(), "drained fabric reports no work");
+        assert_eq!(noc.ni_pending, 0);
+        assert_eq!(noc.queued_total, 0);
+        assert_eq!(noc.next_event_cycle(now), None);
+    }
+
+    #[test]
+    fn has_work_and_next_event_follow_traffic() {
+        let topo = Topology::build(TopologyKind::Ring, 8, 7).unwrap();
+        let mut noc = Noc::new(topo, NocConfig::default());
+        assert!(!noc.has_work());
+        assert_eq!(noc.next_event_cycle(Cycles(0)), None);
+        noc.try_inject(NodeId(0), NodeId(3), vec![0; 16], 0, Cycles(0))
+            .unwrap();
+        // Queued NI traffic: work due immediately.
+        assert!(noc.has_work());
+        assert_eq!(noc.next_event_cycle(Cycles(0)), Some(Cycles(0)));
+        noc.tick(Cycles(0));
+        // Now the packet is serializing over a 7-cycle link: the next event
+        // is its arrival, strictly in the future and never overshot.
+        let next = noc
+            .next_event_cycle(Cycles(1))
+            .expect("a transfer is in flight");
+        assert!(
+            next > Cycles(1),
+            "wire latency means a future event: {next}"
+        );
+        let mut now = Cycles(1);
+        while noc.eject(NodeId(3)).is_none() {
+            now += Cycles(1);
+            noc.tick(now);
+            assert!(now.0 < 1_000);
+        }
+        assert!(now >= next, "packet cannot arrive before the next event");
     }
 
     #[test]

@@ -161,6 +161,12 @@ pub struct Pe {
     core: Utilization,
     tasks_completed: u64,
     energy: Picojoules,
+    /// Cycle up to which (exclusive) busy/idle accounting has been applied.
+    /// An active-set scheduler may skip ticking a dormant PE (every thread
+    /// `Idle` or `AwaitingCompletion`); the skipped cycles are settled in
+    /// bulk — with identical counter arithmetic — on the next tick or via
+    /// [`Pe::settle_accounting`].
+    accounted_to: u64,
 }
 
 impl Pe {
@@ -185,6 +191,7 @@ impl Pe {
             core: Utilization::new(),
             tasks_completed: 0,
             energy: Picojoules::ZERO,
+            accounted_to: 0,
         }
     }
 
@@ -258,6 +265,56 @@ impl Pe {
     /// Drains the requests raised since the last call.
     pub fn take_requests(&mut self) -> Vec<(ThreadId, PeRequest)> {
         self.requests.drain(..).collect()
+    }
+
+    /// Whether undrained platform requests are pending.
+    pub fn has_requests(&self) -> bool {
+        !self.requests.is_empty()
+    }
+
+    /// Whether ticking this PE can do anything besides busy/idle accounting:
+    /// a context switch is in flight, or some thread is `Ready`, mid compute
+    /// burst, or sleeping on a self-timed scratchpad stall.
+    ///
+    /// A PE that is **not** live (every thread `Idle` or awaiting a platform
+    /// completion) ticks as a pure accounting no-op, so an active-set
+    /// scheduler may skip it and settle the skipped cycles in bulk with
+    /// [`Pe::settle_accounting`] — the counters come out bit-identical.
+    pub fn is_live(&self) -> bool {
+        self.swap_remaining > 0
+            || self.threads.iter().any(|t| {
+                matches!(
+                    t.state,
+                    ThreadState::Ready
+                        | ThreadState::Computing { .. }
+                        | ThreadState::ScratchpadStall { .. }
+                )
+            })
+    }
+
+    /// Applies busy/idle accounting for all unaccounted cycles before `now`,
+    /// assuming the PE was dormant (not [`Pe::is_live`]) for that span: each
+    /// skipped cycle counts occupancy for non-idle threads and an idle issue
+    /// slot, exactly as the per-cycle tick would have.
+    ///
+    /// Callers must settle **before** mutating thread state at `now` (e.g.
+    /// before `spawn`), so the gap is accounted with the state that actually
+    /// held during it. Settling is idempotent.
+    pub fn settle_accounting(&mut self, now: Cycles) {
+        if now.0 <= self.accounted_to {
+            return;
+        }
+        let n = now.0 - self.accounted_to;
+        for t in &mut self.threads {
+            if matches!(t.state, ThreadState::Idle) {
+                t.occupancy.idle_n(n);
+            } else {
+                t.occupancy.busy_n(n);
+            }
+            t.busy.idle_n(n);
+        }
+        self.core.idle_n(n);
+        self.accounted_to = now.0;
     }
 
     /// Tasks run to completion so far.
@@ -419,6 +476,11 @@ impl Pe {
 
 impl Clocked for Pe {
     fn tick(&mut self, now: Cycles) {
+        // Settle any cycles skipped by an active-set scheduler, then mark
+        // this cycle accounted (the body below does its accounting inline).
+        self.settle_accounting(now);
+        self.accounted_to = now.0 + 1;
+
         // Occupancy accounting for every context.
         for t in &mut self.threads {
             if matches!(t.state, ThreadState::Idle) {
@@ -665,6 +727,45 @@ mod tests {
     fn completing_a_non_waiting_thread_panics() {
         let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 1));
         pe.complete(ThreadId(0));
+    }
+
+    #[test]
+    fn skipped_dormant_cycles_settle_identically() {
+        // Two identical PEs, one ticked every cycle through a dormant span,
+        // one skipped and bulk-settled: every statistic must come out equal.
+        let mk = || Pe::new(PeConfig::new(PeClass::GpRisc, 2));
+        let mut dense = mk();
+        let mut lazy = mk();
+        let task = Program::straight_line([Op::Compute(3), Op::call(NodeId(1), 8, 8)]);
+        let td = dense.spawn(task.clone()).unwrap();
+        let tl = lazy.spawn(task).unwrap();
+        for c in 0..6 {
+            dense.tick(Cycles(c));
+            lazy.tick(Cycles(c));
+        }
+        assert_eq!(dense.take_requests().len(), 1);
+        assert_eq!(lazy.take_requests().len(), 1);
+        assert!(!lazy.is_live(), "blocked on the call: dormant");
+        // Dormant span: dense ticks 100 cycles, lazy skips them entirely.
+        for c in 6..106 {
+            dense.tick(Cycles(c));
+        }
+        lazy.settle_accounting(Cycles(106));
+        dense.complete(td);
+        lazy.complete(tl);
+        for c in 106..112 {
+            dense.tick(Cycles(c));
+            lazy.tick(Cycles(c));
+        }
+        let (a, b) = (dense.stats(), lazy.stats());
+        assert_eq!(a.tasks_completed, b.tasks_completed);
+        assert_eq!(a.swaps, b.swaps);
+        assert_eq!(a.core_utilization.to_bits(), b.core_utilization.to_bits());
+        assert_eq!(a.thread_occupancy.len(), b.thread_occupancy.len());
+        for (x, y) in a.thread_occupancy.iter().zip(&b.thread_occupancy) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.energy.0.to_bits(), b.energy.0.to_bits());
     }
 
     #[test]

@@ -37,11 +37,13 @@
 //! ```
 
 pub mod event;
+pub mod parallel;
 pub mod pipeline;
 pub mod stats;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use parallel::{parallel_map, parallel_map_with, set_sweep_threads, sweep_threads};
 pub use pipeline::{PipelinedServer, ServerFull};
 pub use stats::{Counter, Histogram, OnlineMean, Utilization};
 pub use trace::{SignalId, Tracer};

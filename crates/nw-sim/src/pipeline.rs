@@ -130,6 +130,22 @@ impl PipelinedServer {
     pub fn queue_free(&self) -> usize {
         self.queue_cap - self.queue.len()
     }
+
+    /// The earliest cycle `>= now` at which ticking this server can change
+    /// its state, or `None` when it is fully drained (every tick until the
+    /// next submit is a no-op).
+    ///
+    /// A caller may skip ticks strictly before the returned cycle without
+    /// changing any observable behaviour: completions mature exactly on
+    /// their due cycle and queued items issue no earlier than `next_accept`.
+    pub fn next_event_cycle(&self, now: Cycles) -> Option<Cycles> {
+        let mut next: Option<Cycles> = self.in_flight.next_due().map(|d| d.max(now));
+        if !self.queue.is_empty() {
+            let issue = Cycles(self.next_accept.max(now.0));
+            next = Some(next.map_or(issue, |n| n.min(issue)));
+        }
+        next
+    }
 }
 
 impl Clocked for PipelinedServer {

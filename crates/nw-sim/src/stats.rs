@@ -107,6 +107,20 @@ impl Utilization {
         self.total += 1;
     }
 
+    /// Records `n` busy cycles at once — exactly equivalent to `n` calls to
+    /// [`Utilization::busy`]. The active-set scheduler uses this to settle
+    /// accounting for cycles it skipped without perturbing the counters.
+    pub fn busy_n(&mut self, n: u64) {
+        self.busy += n;
+        self.total += n;
+    }
+
+    /// Records `n` idle cycles at once — exactly equivalent to `n` calls to
+    /// [`Utilization::idle`].
+    pub fn idle_n(&mut self, n: u64) {
+        self.total += n;
+    }
+
     /// Busy cycles observed so far.
     pub fn busy_cycles(&self) -> u64 {
         self.busy
@@ -153,7 +167,7 @@ impl Utilization {
 /// assert!((h.mean() - 40.0).abs() < 1e-9);
 /// assert!(h.quantile(0.5) >= Cycles(20));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     /// buckets[i] counts samples with value in [2^(i-1), 2^i), bucket 0 = {0}.
     buckets: Vec<u64>,

@@ -61,6 +61,95 @@ proptest! {
         prop_assert_eq!(u.total_cycles(), pattern.len() as u64);
     }
 
+    /// Fast-forward contract: `next_due` never overshoots the earliest
+    /// pending event — nothing pops strictly before it, and something
+    /// always pops exactly at it.
+    #[test]
+    fn next_due_never_overshoots(
+        times in prop::collection::vec(0u64..500, 1..64),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Cycles(t), i);
+        }
+        let mut remaining: Vec<u64> = times.clone();
+        while let Some(due) = q.next_due() {
+            // next_due is exactly the earliest pending event: skipping to it
+            // can never overshoot anything.
+            let earliest = *remaining.iter().min().expect("queue non-empty");
+            prop_assert_eq!(due, Cycles(earliest), "next_due overshot");
+            if due > Cycles(0) {
+                prop_assert!(q.pop_due(Cycles(due.0 - 1)).is_none(),
+                    "popped strictly before next_due {}", due);
+            }
+            let popped = q.pop_due(due);
+            prop_assert!(popped.is_some(), "nothing due at next_due {}", due);
+            let t = times[popped.unwrap()];
+            prop_assert_eq!(Cycles(t), due, "popped event not at its due time");
+            let pos = remaining.iter().position(|&x| x == t).expect("tracked");
+            remaining.swap_remove(pos);
+        }
+        prop_assert!(q.is_empty());
+        prop_assert!(remaining.is_empty());
+    }
+
+    /// Idle-skip equivalence: driving a pipelined server by jumping from
+    /// `next_event_cycle` to `next_event_cycle` observes exactly the same
+    /// (cycle, id) completion sequence as ticking every cycle — the skip
+    /// never changes the observable clock at wake points.
+    #[test]
+    fn pipeline_fast_forward_is_equivalent(
+        ii in 1u64..6,
+        latency in 1u64..24,
+        submits in prop::collection::vec(0u64..60, 1..16),
+    ) {
+        let horizon = 400u64;
+        // Dense reference: tick every cycle, submitting per schedule.
+        let mut dense = PipelinedServer::new(ii, latency, 64);
+        let mut dense_done = Vec::new();
+        for c in 0..horizon {
+            for (id, &at) in submits.iter().enumerate() {
+                if at == c {
+                    let _ = dense.try_submit(id as u64, Cycles(c));
+                }
+            }
+            dense.tick(Cycles(c));
+            while let Some(id) = dense.take_done() {
+                dense_done.push((c, id));
+            }
+        }
+        // Event-driven: only tick at submit times and self-reported events.
+        let mut fast = PipelinedServer::new(ii, latency, 64);
+        let mut fast_done = Vec::new();
+        let mut c = 0u64;
+        while c < horizon {
+            for (id, &at) in submits.iter().enumerate() {
+                if at == c {
+                    let _ = fast.try_submit(id as u64, Cycles(c));
+                }
+            }
+            let must_tick = fast
+                .next_event_cycle(Cycles(c))
+                .is_some_and(|t| t == Cycles(c));
+            if must_tick {
+                fast.tick(Cycles(c));
+                while let Some(id) = fast.take_done() {
+                    fast_done.push((c, id));
+                }
+            }
+            // Jump to the next submit or self-timed event, whichever first.
+            let next_submit = submits.iter().filter(|&&a| a > c).min().copied();
+            let next_self = fast.next_event_cycle(Cycles(c + 1)).map(|t| t.0);
+            c = [next_submit, next_self, Some(horizon)]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("horizon is always present");
+        }
+        prop_assert_eq!(dense_done, fast_done, "fast-forward diverged");
+        prop_assert_eq!(dense.served(), fast.served());
+    }
+
     /// The pipelined server completes everything submitted, in FIFO order,
     /// with completions spaced at least II apart.
     #[test]

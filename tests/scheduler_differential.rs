@@ -1,0 +1,110 @@
+//! Scheduler differential suite: the active-set event-driven scheduler must
+//! be **bit-identical** to the dense reference scheduler on every registered
+//! scenario — same `PlatformReport` down to the last f64 bit, same NoC
+//! histogram buckets, same energy.
+//!
+//! The dense path ticks every component every cycle; the active-set path
+//! skips dormant PEs (settling their accounting in bulk), quiescent service
+//! nodes and NoC scans, and fast-forwards fully idle spans. Any divergence
+//! between the two is a scheduler bug, so this suite runs every scenario
+//! under both modes, including mid-run windows and manual stepping.
+
+use nanowall::{ScenarioRegistry, SchedulerMode};
+
+/// Runs `name` under one scheduler for `cycles` and returns the report.
+fn run_mode(name: &str, mode: SchedulerMode, cycles: u64) -> nanowall::PlatformReport {
+    let reg = ScenarioRegistry::standard();
+    let mut rig = reg.build(name, true).expect("registered scenario");
+    rig.platform.set_scheduler_mode(mode);
+    rig.run(cycles)
+}
+
+#[test]
+fn every_scenario_is_bit_identical_across_schedulers() {
+    for name in ScenarioRegistry::standard().names() {
+        let dense = run_mode(name, SchedulerMode::Dense, 20_000);
+        let active = run_mode(name, SchedulerMode::ActiveSet, 20_000);
+        assert_eq!(
+            dense, active,
+            "{name}: active-set scheduler diverged from the dense reference"
+        );
+        // Sanity: the comparison is not vacuous.
+        assert!(dense.tasks_completed > 0, "{name} must do work");
+    }
+}
+
+#[test]
+fn windowed_runs_stay_identical() {
+    // Reports taken at intermediate windows must agree too — the lazy
+    // accounting settles exactly at every report boundary.
+    for name in ["ipv4", "crypto"] {
+        let reg = ScenarioRegistry::standard();
+        let mut dense = reg.build(name, true).expect("registered");
+        dense.platform.set_scheduler_mode(SchedulerMode::Dense);
+        let mut active = reg.build(name, true).expect("registered");
+        active.platform.set_scheduler_mode(SchedulerMode::ActiveSet);
+        for window in [3_000u64, 5_000, 9_000] {
+            let d = dense.run(window);
+            let a = active.run(window);
+            assert_eq!(d, a, "{name}: diverged in a {window}-cycle window");
+        }
+    }
+}
+
+#[test]
+fn manual_stepping_matches_run() {
+    // step() under the active-set scheduler must trace the same states as
+    // the dense step; report() settles lazy accounting in both cases.
+    let reg = ScenarioRegistry::standard();
+    let mut dense = reg.build("modem", true).expect("registered");
+    dense.platform.set_scheduler_mode(SchedulerMode::Dense);
+    let mut active = reg.build("modem", true).expect("registered");
+    active.platform.set_scheduler_mode(SchedulerMode::ActiveSet);
+    for _ in 0..12_000 {
+        dense.platform.step();
+        active.platform.step();
+    }
+    let d = dense.platform.report(nw_types::Cycles(12_000));
+    let a = active.platform.report(nw_types::Cycles(12_000));
+    assert_eq!(d, a, "stepped modem rig diverged");
+}
+
+#[test]
+fn large_idle_span_is_identical_and_fast_forwarded() {
+    // A rig driven far below capacity spends most cycles idle — exactly the
+    // case the fast-forward targets. 200k cycles of a low-rate modem rig.
+    let mut dense = nanowall::scenarios::modem_rig(
+        &nw_apps::ModemParams::default(),
+        6,
+        4,
+        50,
+        40.0, // 40 Mb/s: a burst only every few thousand cycles
+    );
+    dense.platform.set_scheduler_mode(SchedulerMode::Dense);
+    let mut active =
+        nanowall::scenarios::modem_rig(&nw_apps::ModemParams::default(), 6, 4, 50, 40.0);
+    active.platform.set_scheduler_mode(SchedulerMode::ActiveSet);
+    let d = dense.run(200_000);
+    let a = active.run(200_000);
+    assert_eq!(d, a, "large-idle modem run diverged");
+    assert!(d.io[0].generated > 0, "the line must generate bursts");
+}
+
+#[test]
+fn next_event_cycle_never_overshoots() {
+    // On an idle platform the platform-wide next event equals the earliest
+    // component event; stepping to it must observe a state change while
+    // every skipped cycle was provably a no-op (verified by the identical
+    // reports above — here we check the bound itself on a quiet rig).
+    let reg = ScenarioRegistry::standard();
+    let mut rig = reg.build("crypto", true).expect("registered");
+    rig.platform.set_scheduler_mode(SchedulerMode::ActiveSet);
+    rig.run(2_000);
+    if let Some(t) = rig.platform.next_event_cycle() {
+        assert!(
+            t >= rig.platform.now(),
+            "next event {t} is in the past (now {})",
+            rig.platform.now()
+        );
+    }
+}
