@@ -158,6 +158,48 @@ impl BenchReport {
         s
     }
 
+    /// Renders a delta table of this report against a previously committed
+    /// `BENCH_platform.json` (the exact format [`BenchReport::to_json`]
+    /// emits). Purely informational: timing deltas never fail a run — CI
+    /// machines are too noisy to gate on absolute numbers — only the
+    /// bit-identity flags (checked elsewhere) can.
+    ///
+    /// Unknown rigs (added since the baseline was committed) and removed
+    /// rigs are called out rather than silently dropped.
+    pub fn delta_table(&self, baseline_json: &str) -> String {
+        let baseline = parse_scheduler_entries(baseline_json);
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "BENCH  delta vs committed baseline (informational; identity is the only gate)"
+        );
+        for e in &self.scheduler {
+            match baseline.iter().find(|(n, _)| n == &e.name) {
+                Some((_, base_cps)) if *base_cps > 0.0 => {
+                    let ratio = e.active_cycles_per_sec / base_cps;
+                    let _ = writeln!(
+                        s,
+                        "  {:<22} {:>11.0} -> {:>11.0} cyc/s  {:>6.2}x  identical={}",
+                        e.name, base_cps, e.active_cycles_per_sec, ratio, e.bit_identical
+                    );
+                }
+                _ => {
+                    let _ = writeln!(
+                        s,
+                        "  {:<22} {:>11} -> {:>11.0} cyc/s  (new rig)  identical={}",
+                        e.name, "-", e.active_cycles_per_sec, e.bit_identical
+                    );
+                }
+            }
+        }
+        for (name, _) in &baseline {
+            if !self.scheduler.iter().any(|e| &e.name == name) {
+                let _ = writeln!(s, "  {name:<22} removed since baseline");
+            }
+        }
+        s
+    }
+
     /// Human-readable summary for stdout.
     pub fn render(&self) -> String {
         let mut s = String::new();
@@ -200,6 +242,26 @@ impl BenchReport {
         }
         s
     }
+}
+
+/// Extracts `(name, active_cycles_per_sec)` pairs from the scheduler rows
+/// of a `BENCH_platform.json`. A hand-rolled line scanner, not a JSON
+/// parser: the workspace is offline and the input is our own emitter's
+/// output, where every scheduler row sits on one line with both keys.
+fn parse_scheduler_entries(json: &str) -> Vec<(String, f64)> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let start = line.find(key)? + key.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    json.lines()
+        .filter_map(|line| {
+            let name = field(line, "\"name\": ")?;
+            let cps: f64 = field(line, "\"active_cycles_per_sec\": ")?.parse().ok()?;
+            Some((name.to_owned(), cps))
+        })
+        .collect()
 }
 
 /// Runs `build_and_run` under one scheduler, returning (report, secs).
@@ -283,6 +345,21 @@ pub fn run_bench(quick: bool) -> BenchReport {
             let mut rig = scenarios::ipv4_rig(4, 8, nw_noc::TopologyKind::Mesh, 4, 0.3);
             scenarios::run_ipv4(&mut rig, win / 2)
         }),
+        // ---- Busy-path points: the regime the paper's platform argument
+        // actually cares about. These rigs keep the fabric loaded — link
+        // serialization, queued routers, issuing PEs — so they measure the
+        // event-driven transmit path and compute fast-forward, not the
+        // idle-span skip.
+        // T8 video at 8 Gb/s: at the delivery knee, four lanes saturated.
+        sched_case("t8-video-8gbps", win / 4, &|| {
+            let mut rig = scenarios::video_rig(&nw_apps::VideoParams::default(), 9, 4, 4, 8.0);
+            rig.run(win / 4)
+        }),
+        // T3 IPv4 near line rate: 16 worker PEs at 9.5 of 10 Gb/s offered.
+        sched_case("t3-ipv4-9.5gbps", win / 4, &|| {
+            let mut rig = scenarios::ipv4_rig(16, 8, nw_noc::TopologyKind::Mesh, 4, 9.5);
+            scenarios::run_ipv4(&mut rig, win / 4)
+        }),
     ];
 
     let sweeps = vec![
@@ -291,6 +368,30 @@ pub fn run_bench(quick: bool) -> BenchReport {
         }),
         sweep_case("t8-pe-pool-dse", &|| {
             crate::experiments::t8_video::run(true).table
+        }),
+        sweep_case("t3-replica-sweep", &|| {
+            crate::experiments::t3_ipv4::run(true).table
+        }),
+        sweep_case("t5-lpm-grid", &|| {
+            crate::experiments::t5_lpm::run(true).table
+        }),
+        // T6's rendered table carries an informational mapper wall-clock
+        // column, so identity is checked on the deterministic fields.
+        sweep_case("t6-mapper-eval", &|| {
+            crate::experiments::t6_mapping::run(true)
+                .rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{}|{:.9}|{:.9}|{:.9}",
+                        r.mapper, r.analytic_cost, r.forwarded_ratio, r.egress_gbps
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        }),
+        sweep_case("t9-latency-sweep", &|| {
+            crate::experiments::t9_modem::run(true).table
         }),
     ];
 
@@ -383,6 +484,45 @@ mod tests {
             "balanced braces: {j}"
         );
         assert!(!r.render().is_empty());
+    }
+
+    #[test]
+    fn delta_table_reads_own_json_format() {
+        let base = BenchReport {
+            quick: true,
+            sweep_threads: 1,
+            scheduler: vec![
+                SchedEntry {
+                    name: "riga".into(),
+                    cycles: 100,
+                    dense_secs: 0.2,
+                    active_secs: 0.1,
+                    active_cycles_per_sec: 1000.0,
+                    bit_identical: true,
+                },
+                SchedEntry {
+                    name: "gone".into(),
+                    cycles: 100,
+                    dense_secs: 0.2,
+                    active_secs: 0.1,
+                    active_cycles_per_sec: 500.0,
+                    bit_identical: true,
+                },
+            ],
+            sweeps: Vec::new(),
+            experiments: Vec::new(),
+        };
+        let mut new = base.clone();
+        new.scheduler[0].active_cycles_per_sec = 2500.0;
+        new.scheduler[1].name = "fresh".into();
+        let table = new.delta_table(&base.to_json());
+        assert!(table.contains("riga"), "{table}");
+        assert!(table.contains("2.50x"), "2.5x speedup row: {table}");
+        assert!(table.contains("(new rig)"), "{table}");
+        assert!(
+            table.contains("gone") && table.contains("removed"),
+            "{table}"
+        );
     }
 
     #[test]

@@ -28,9 +28,28 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let quick = args.iter().any(|a| a == "--quick");
+    // `--baseline <path>`: after a bench run, print a delta table against a
+    // previously committed BENCH_platform.json (informational; only
+    // bit-identity divergence fails the run, never timing).
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut skip_next = false;
     let ids: Vec<&str> = args
         .iter()
-        .filter(|a| *a != "--fast" && *a != "--quick")
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--baseline" {
+                skip_next = true;
+                return false;
+            }
+            *a != "--fast" && *a != "--quick"
+        })
         .map(String::as_str)
         .collect();
     if ids == ["list"] {
@@ -40,6 +59,12 @@ fn main() {
     if ids == ["bench"] {
         let report = nw_bench::bench::run_bench(quick || fast);
         print!("{}", report.render());
+        if let Some(base_path) = baseline {
+            match std::fs::read_to_string(&base_path) {
+                Ok(json) => print!("{}", report.delta_table(&json)),
+                Err(e) => eprintln!("cannot read baseline {base_path}: {e} (skipping delta)"),
+            }
+        }
         let path = "BENCH_platform.json";
         std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");

@@ -12,6 +12,7 @@
 use crate::Table;
 use nanowall::scenarios::{ipv4_rig, run_ipv4};
 use nw_noc::TopologyKind;
+use nw_sim::parallel_map;
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -82,9 +83,13 @@ pub fn run(fast: bool) -> T3Result {
         "worker util",
         "NoC latency",
     ]);
-    let mut sweep = Vec::new();
-    for &r in replica_sweep {
-        let p = measure(r, 8, link_latency, cycles);
+    // Every sweep point builds its own platform, so the points are
+    // embarrassingly parallel; `parallel_map` keeps input order, so the
+    // rendered table is byte-identical to the serial loop.
+    let sweep: Vec<Ipv4Point> = parallel_map(replica_sweep.to_vec(), |r| {
+        measure(r, 8, link_latency, cycles)
+    });
+    for p in &sweep {
         t.row_owned(vec![
             p.replicas.to_string(),
             p.threads.to_string(),
@@ -93,7 +98,6 @@ pub fn run(fast: bool) -> T3Result {
             format!("{:.0}%", p.worker_utilization * 100.0),
             format!("{:.0} cyc", p.noc_latency),
         ]);
-        sweep.push(p);
     }
 
     let line_rate_replicas = sweep
@@ -102,16 +106,16 @@ pub fn run(fast: bool) -> T3Result {
         .map(|p| p.replicas)
         .unwrap_or(16);
     let mut at = Table::new(&["threads", "forwarded", "egress", "worker util"]);
-    let mut thread_ablation = Vec::new();
-    for threads in [1usize, 2, 4, 8] {
-        let p = measure(line_rate_replicas, threads, link_latency, cycles);
+    let thread_ablation: Vec<Ipv4Point> = parallel_map(vec![1usize, 2, 4, 8], |threads| {
+        measure(line_rate_replicas, threads, link_latency, cycles)
+    });
+    for p in &thread_ablation {
         at.row_owned(vec![
-            threads.to_string(),
+            p.threads.to_string(),
             format!("{:.0}%", p.forwarded_ratio * 100.0),
             format!("{:.2} Gb/s", p.egress_gbps),
             format!("{:.0}%", p.worker_utilization * 100.0),
         ]);
-        thread_ablation.push(p);
     }
 
     T3Result {

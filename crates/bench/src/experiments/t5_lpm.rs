@@ -11,6 +11,7 @@
 use crate::Table;
 use nw_ipv4::routes::{synthetic_table, RouteTableConfig};
 use nw_ipv4::{BinaryTrie, CamTable, LpmTable, MultibitTrie};
+use nw_sim::parallel_map;
 
 /// One engine × table-size measurement.
 #[derive(Debug, Clone)]
@@ -69,15 +70,26 @@ pub fn run(fast: bool) -> T5Result {
         "accesses/lookup",
         "energy/lookup",
     ]);
-    for &n in sizes {
-        let engines: Vec<LpmRow> = vec![
-            measure(BinaryTrie::new(), n, 42),
-            measure(MultibitTrie::new(2), n, 42),
-            measure(MultibitTrie::new(4), n, 42),
-            measure(MultibitTrie::new(8), n, 42),
-            measure(CamTable::new(), n, 42),
-        ];
-        for e in engines {
+    // Building and populating 64k-route tables dominates T5's wall-clock;
+    // every (size, engine) cell is independent, so the grid fans out over
+    // the sweep pool. `parallel_map` preserves input order — the table
+    // renders byte-identically to the serial nested loop. One entry per
+    // contender; the chunking back into per-size groups keys off its len.
+    let engines: &[fn(usize) -> LpmRow] = &[
+        |n| measure(BinaryTrie::new(), n, 42),
+        |n| measure(MultibitTrie::new(2), n, 42),
+        |n| measure(MultibitTrie::new(4), n, 42),
+        |n| measure(MultibitTrie::new(8), n, 42),
+        |n| measure(CamTable::new(), n, 42),
+    ];
+    let grid: Vec<(usize, usize)> = sizes
+        .iter()
+        .flat_map(|&n| (0..engines.len()).map(move |e| (n, e)))
+        .collect();
+    let cells: Vec<LpmRow> = parallel_map(grid, |(n, engine)| engines[engine](n));
+    for chunk in cells.chunks(engines.len()) {
+        let n = chunk[0].routes;
+        for e in chunk.iter().cloned() {
             t.row_owned(vec![
                 n.to_string(),
                 if e.engine == "multibit-trie" {

@@ -12,6 +12,7 @@
 use crate::Table;
 use nanowall::scenarios::modem_rig;
 use nw_apps::{modem_pipeline, ModemParams};
+use nw_sim::parallel_map;
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -85,9 +86,12 @@ pub fn run(fast: bool) -> T9Result {
         "backlog",
         "est/burst",
     ]);
-    let mut sweep = Vec::new();
-    for link in [2u64, 10, 25, 50] {
-        let p = measure(link, 4, mbps, cycles);
+    // Each point builds its own rig, so the sweep fans out over the pool;
+    // order is preserved, keeping the table byte-identical to serial.
+    let sweep: Vec<ModemPoint> = parallel_map(vec![2u64, 10, 25, 50], |link| {
+        measure(link, 4, mbps, cycles)
+    });
+    for p in &sweep {
         t.row_owned(vec![
             format!("{} cyc", p.link_latency),
             p.threads.to_string(),
@@ -96,7 +100,6 @@ pub fn run(fast: bool) -> T9Result {
             p.backlog.to_string(),
             format!("{:.1}", p.est_queries_per_burst),
         ]);
-        sweep.push(p);
     }
 
     // The ablation runs at a rate that actually loads the PEs, so losing
@@ -104,16 +107,16 @@ pub fn run(fast: bool) -> T9Result {
     let worst = sweep.last().map(|p| p.link_latency).unwrap_or(50);
     let stress_mbps = 1800.0;
     let mut at = Table::new(&["threads", "delivered", "NoC latency", "backlog"]);
-    let mut thread_ablation = Vec::new();
-    for threads in [1usize, 2, 4, 8] {
-        let p = measure(worst, threads, stress_mbps, cycles);
+    let thread_ablation: Vec<ModemPoint> = parallel_map(vec![1usize, 2, 4, 8], |threads| {
+        measure(worst, threads, stress_mbps, cycles)
+    });
+    for p in &thread_ablation {
         at.row_owned(vec![
-            threads.to_string(),
+            p.threads.to_string(),
             format!("{:.0}%", p.delivered_ratio * 100.0),
             format!("{:.0} cyc", p.noc_latency),
             p.backlog.to_string(),
         ]);
-        thread_ablation.push(p);
     }
 
     T9Result {

@@ -21,7 +21,7 @@ use crate::tags::{is_reply, RequestTag};
 use nw_fabric::Efpga;
 use nw_hwip::{HwIpBlock, IoChannel};
 use nw_mem::{MemRequest, MemoryController, MemorySpec, ReqKind};
-use nw_noc::{Noc, Topology};
+use nw_noc::{Noc, PayloadPool, Topology};
 use nw_pe::{Pe, PeRequest};
 use nw_sim::{Clock, Clocked};
 use nw_types::{AreaMm2, Cycles, NodeId, PeId, Picojoules};
@@ -149,6 +149,12 @@ pub struct FppaPlatform {
     /// construction, so the cache never needs invalidation; rebuilding the
     /// platform is the only way to change the topology).
     hop_cache: OnceCell<Vec<Vec<f64>>>,
+    /// Recycling arena for packet payloads: consumed packet buffers return
+    /// here in `route_arrivals`, and every payload producer (service
+    /// replies, ingress invocations, handler-synthesized messages, PE
+    /// request padding) draws from it instead of the allocator. Purely an
+    /// allocation cache — contents and timing are bit-identical either way.
+    pool: PayloadPool,
 }
 
 impl FppaPlatform {
@@ -253,6 +259,7 @@ impl FppaPlatform {
             scheduler: default_scheduler_mode(),
             pe_active: vec![true; n_pes],
             hop_cache: OnceCell::new(),
+            pool: PayloadPool::new(),
         })
     }
 
@@ -436,10 +443,9 @@ impl FppaPlatform {
             SchedulerMode::ActiveSet => {
                 let end = Cycles(start.0 + cycles);
                 while self.clock.now() < end {
-                    if self.cycle_is_idle() {
-                        self.idle_hop(end);
-                    } else {
-                        self.step_active();
+                    match self.quiet_span() {
+                        Some(pe_span) => self.span_hop(end, pe_span),
+                        None => self.step_active(),
                     }
                 }
             }
@@ -504,8 +510,11 @@ impl FppaPlatform {
         }
         self.io_ingress(now);
 
-        // 2. The interconnect, when anything is queued or in flight.
-        if self.noc.has_work() {
+        // 2. The interconnect, when an arrival, router wake or ready NI
+        //    head is actually due this cycle. A loaded-but-stalled fabric
+        //    (every queued packet waiting out multi-cycle link occupancy)
+        //    is skipped entirely — the tick would be a no-op.
+        if self.noc.due_now(now) {
             self.noc.tick(now);
         }
 
@@ -538,26 +547,35 @@ impl FppaPlatform {
         self.clock.advance();
     }
 
-    /// Whether the upcoming cycle is provably a no-op for everything except
-    /// I/O pacing credit: no active PE, empty outbox, no NoC or service
-    /// work due, no dispatch backlog or entry pacing, and no bound I/O
-    /// channel holding (or about to produce) ingress traffic.
-    fn cycle_is_idle(&self) -> bool {
+    /// Whether the upcoming span of cycles is provably skippable, and for
+    /// how long with respect to the PEs. `None`: this cycle must be stepped
+    /// normally. `Some(k)`: nothing except I/O pacing credit and in-flight
+    /// PE compute bursts evolves for at least the next `k` cycles (and any
+    /// timed NoC/memory event is respected separately via
+    /// [`Self::quiet_target`]) — no retirement, dispatch, injection or
+    /// arrival can occur, so the span can be bulk-advanced.
+    ///
+    /// With every PE dormant the PE bound is unlimited (`u64::MAX`, the
+    /// pure-idle fast-forward of the original active-set scheduler); with
+    /// active PEs the bound is the shortest in-flight compute burst, and
+    /// any active PE doing something other than a compute burst forces a
+    /// normal step.
+    fn quiet_span(&self) -> Option<u64> {
         let now = self.clock.now();
-        if self.pe_active.iter().any(|&a| a) || !self.outbox.is_empty() {
-            return false;
+        if !self.outbox.is_empty() {
+            return None;
         }
         if self.noc.eject_pending() > 0 || self.noc.next_event_cycle(now).is_some_and(|t| t <= now)
         {
-            return false;
+            return None;
         }
         if let Some(rt) = self.runtime.as_ref() {
             if rt.has_pacing() || rt.has_dispatch_work() {
-                return false;
+                return None;
             }
             for (i, io) in self.ios.iter().enumerate() {
                 if rt.io_has_bindings(i) && (io.rx_backlog() > 0 || io.rx_due_next_tick()) {
-                    return false;
+                    return None;
                 }
             }
         }
@@ -576,27 +594,96 @@ impl FppaPlatform {
             .iter()
             .zip(&self.hwip_parked)
             .all(|(h, parked)| parked.is_empty() && h.is_idle());
-        mems_quiet && fabrics_quiet && hwips_quiet
+        if !(mems_quiet && fabrics_quiet && hwips_quiet) {
+            return None;
+        }
+        // PE bound: dormant PEs are unconstrained (their accounting settles
+        // lazily); every active PE must be mid compute burst.
+        let mut span = u64::MAX;
+        for (i, pe) in self.pes.iter().enumerate() {
+            if !self.pe_active[i] {
+                continue;
+            }
+            match pe.quiet_span(now) {
+                Some(k) => span = span.min(k),
+                None => return None,
+            }
+        }
+        Some(span)
     }
 
-    /// Advances over an idle span. Without I/O channels the clock jumps
-    /// straight to the next timed event (or `end`); with I/O channels the
-    /// pacing credit must accumulate cycle by cycle, so the hop advances one
-    /// cycle ticking only the pacers.
-    fn idle_hop(&mut self, end: Cycles) {
+    /// Advances over a quiet span. Without I/O channels the clock jumps to
+    /// the span target in one hop; with I/O channels the pacing credit must
+    /// accumulate cycle by cycle, so the hop ticks only the pacers in a
+    /// tight loop, breaking out the moment a bound channel holds (or is
+    /// about to produce) ingress traffic. Active PEs then bulk-apply the
+    /// hopped cycles to their compute bursts — counter arithmetic identical
+    /// to per-cycle ticking, so the dense scheduler sees the same state.
+    fn span_hop(&mut self, end: Cycles, pe_span: u64) {
         let now = self.clock.now();
+        let mut target = self.quiet_target(end);
+        if pe_span != u64::MAX {
+            target = target.min(Cycles(now.0 + pe_span));
+        }
+        let target = target.max(Cycles(now.0 + 1));
         if self.ios.is_empty() {
-            let target = self
-                .next_event_cycle()
-                .map_or(end, |t| t.min(end))
-                .max(Cycles(now.0 + 1));
             self.clock.advance_by(Cycles(target.0 - now.0));
         } else {
-            for i in 0..self.ios.len() {
-                self.ios[i].tick(now);
+            // Bindings cannot change mid-hop, so resolve which channels'
+            // ingress can end the span once, outside the per-cycle loop.
+            // (Unbound channels pace and drop; their state never wakes
+            // anything, exactly as in a dense step.)
+            let mut bound: Option<Vec<usize>> = None;
+            let mut t = now.0;
+            loop {
+                for io in self.ios.iter_mut() {
+                    io.tick(Cycles(t));
+                }
+                t += 1;
+                if t >= target.0 {
+                    break;
+                }
+                let bound = bound.get_or_insert_with(|| match self.runtime.as_ref() {
+                    Some(rt) => (0..self.ios.len())
+                        .filter(|&i| rt.io_has_bindings(i))
+                        .collect(),
+                    None => Vec::new(),
+                });
+                let io_traffic = bound.iter().any(|&i| {
+                    let io = &self.ios[i];
+                    io.rx_backlog() > 0 || io.rx_due_next_tick()
+                });
+                if io_traffic {
+                    break;
+                }
             }
-            self.clock.advance();
+            self.clock.advance_by(Cycles(t - now.0));
         }
+        if pe_span != u64::MAX {
+            let hopped = self.clock.now().0 - now.0;
+            for i in 0..self.pes.len() {
+                if self.pe_active[i] {
+                    self.pes[i].advance_quiet(hopped);
+                }
+            }
+        }
+    }
+
+    /// The earliest cycle at which a *timed* NoC event is due (arrivals,
+    /// port frees), clamped to `end`. Only meaningful right after
+    /// [`Self::quiet_span`] answered `Some`: that check has already ruled
+    /// out every other event source — "due now or every cycle" ones
+    /// (issuing PEs, outbox, dispatch, pacing drives, parked services)
+    /// and timed ones alike (a memory, fabric or IP block with anything
+    /// in flight fails its `is_idle` test there), so the NoC holds the
+    /// only pending timed events.
+    fn quiet_target(&self, end: Cycles) -> Cycles {
+        let now = self.clock.now();
+        let mut target = end;
+        if let Some(c) = self.noc.next_event_cycle(now) {
+            target = target.min(c.max(now));
+        }
+        target
     }
 
     /// The earliest cycle `>=` now at which any platform component has work
@@ -678,7 +765,7 @@ impl FppaPlatform {
             // the RX FIFO (and overflows are counted as line drops).
             while self.noc.ni_free(io_node) > 0 {
                 let Some(_seq) = io.take_rx() else { break };
-                let (dst, data) = rt.ingress_invocation(i);
+                let (dst, data) = rt.ingress_invocation(i, &mut self.pool);
                 self.noc
                     .try_inject(io_node, dst, data, 0, now)
                     .expect("ni_free was checked");
@@ -688,7 +775,7 @@ impl FppaPlatform {
 
     fn route_arrivals(&mut self, now: Cycles) {
         for node in 0..self.roles.len() {
-            while let Some(pkt) = self.noc.eject(NodeId(node)) {
+            while let Some(mut pkt) = self.noc.eject(NodeId(node)) {
                 match self.roles[node] {
                     NodeRole::Pe(p) => {
                         if is_reply(pkt.tag) {
@@ -748,6 +835,9 @@ impl FppaPlatform {
                         self.ios[i].transmit(pkt.wire_bytes());
                     }
                 }
+                // Every arm above consumes the packet; its payload buffer
+                // goes back to the arena for the next producer.
+                self.pool.put(std::mem::take(&mut pkt.data));
             }
         }
     }
@@ -825,7 +915,7 @@ impl FppaPlatform {
         self.outbox.push_back(Outgoing {
             src,
             dst,
-            data: vec![0; t.reply_bytes as usize],
+            data: self.pool.take_zeroed(t.reply_bytes as usize),
             tag: t.encode_reply(),
             on_accept: None,
         });
@@ -836,7 +926,7 @@ impl FppaPlatform {
             return;
         };
         rt.drive(now);
-        rt.dispatch(&mut self.pes, now, &mut self.pe_active);
+        rt.dispatch(&mut self.pes, now, &mut self.pe_active, &mut self.pool);
         self.runtime = Some(rt);
     }
 
@@ -854,9 +944,7 @@ impl FppaPlatform {
                         mut data,
                         tag,
                     } => {
-                        if (data.len() as u64) < bytes {
-                            data.resize(bytes as usize, 0);
-                        }
+                        self.pool.pad_zeroed(&mut data, bytes as usize);
                         self.outbox.push_back(Outgoing {
                             src,
                             dst,
@@ -871,9 +959,7 @@ impl FppaPlatform {
                         reply_bytes,
                         mut data,
                     } => {
-                        if (data.len() as u64) < bytes {
-                            data.resize(bytes as usize, 0);
-                        }
+                        self.pool.pad_zeroed(&mut data, bytes as usize);
                         let tag = RequestTag {
                             pe: PeId(p),
                             tid,

@@ -16,8 +16,8 @@
 //!    binding, or saturation mode for utilization experiments.
 
 use crate::tags::RequestTag;
-use nw_dsoc::{Application, Broker, Domain, Message, MessageKind, MethodId};
-use nw_noc::Packet;
+use nw_dsoc::{Application, Broker, Domain, Message, MessageKind, MessageView, MethodId};
+use nw_noc::{Packet, PayloadPool};
 use nw_pe::{KernelDomain, Op, Pe, Program};
 use nw_types::{Cycles, NodeId, ObjectId};
 use std::collections::{HashMap, VecDeque};
@@ -321,25 +321,38 @@ impl Runtime {
 
     /// Builds the (destination node, marshalled bytes) of one line-rate
     /// ingress invocation for a bound I/O channel, rotating round-robin
-    /// among the channel's bound entry points.
+    /// among the channel's bound entry points. The marshalled buffer is
+    /// drawn from the payload arena rather than allocated.
     ///
     /// # Panics
     ///
     /// Panics if the channel has no bindings (callers check
     /// [`Runtime::io_has_bindings`] first).
-    pub(crate) fn ingress_invocation(&mut self, io: usize) -> (NodeId, Vec<u8>) {
+    pub(crate) fn ingress_invocation(
+        &mut self,
+        io: usize,
+        pool: &mut PayloadPool,
+    ) -> (NodeId, Vec<u8>) {
         let bindings = &self.io_bindings[io];
         assert!(!bindings.is_empty(), "ingress on an unbound I/O channel");
         let b = bindings[self.io_rr[io] % bindings.len()];
         self.io_rr[io] = (self.io_rr[io] + 1) % bindings.len();
-        let m = self.app.method(b.object, b.method);
-        let body = vec![0u8; m.arg_bytes as usize];
-        let msg = Message::invocation(b.object, b.method, self.next_seq(), body);
+        let arg_bytes = self.app.method(b.object, b.method).arg_bytes as usize;
+        let seq = self.next_seq();
+        let mut data = pool.take();
+        Message::encode_zeroed_into(
+            MessageKind::Invocation,
+            b.object,
+            b.method,
+            seq,
+            arg_bytes,
+            &mut data,
+        );
         let dst = self
             .broker
             .resolve(b.object)
             .expect("placed objects are registered");
-        (dst, msg.encode())
+        (dst, data)
     }
 
     fn next_seq(&mut self) -> u32 {
@@ -349,7 +362,9 @@ impl Runtime {
 
     /// Routes an arriving DSOC packet at PE `p` into its dispatch queue.
     pub(crate) fn enqueue_invocation(&mut self, p: usize, pkt: &Packet) {
-        let msg = match Message::decode(&pkt.data) {
+        // Borrowed decode: dispatch only needs the header fields, so the
+        // body stays in the packet buffer (which the platform recycles).
+        let msg = match MessageView::decode(&pkt.data) {
             Ok(m) => m,
             Err(_) => {
                 self.decode_errors += 1;
@@ -415,7 +430,13 @@ impl Runtime {
     /// platform's active-set scheduler ticks it this cycle, and its lazy
     /// busy/idle accounting is settled before the spawn flips a thread
     /// from idle to ready.
-    pub(crate) fn dispatch(&mut self, pes: &mut [Pe], now: Cycles, woken: &mut [bool]) {
+    pub(crate) fn dispatch(
+        &mut self,
+        pes: &mut [Pe],
+        now: Cycles,
+        woken: &mut [bool],
+        pool: &mut PayloadPool,
+    ) {
         if self.pending_total > 0 {
             for (p, pe) in pes.iter_mut().enumerate() {
                 if self.dispatch[p].is_empty() || pe.idle_threads() == 0 {
@@ -427,7 +448,7 @@ impl Runtime {
                         break;
                     };
                     self.pending_total -= 1;
-                    let prog = self.synthesize(&inv);
+                    let prog = self.synthesize(&inv, pool);
                     pe.spawn(prog).expect("idle thread count was checked");
                     woken[p] = true;
                     self.dispatched += 1;
@@ -445,11 +466,14 @@ impl Runtime {
             pes[pe].settle_accounting(now);
             woken[pe] = true;
             while pes[pe].idle_threads() > 0 {
-                let prog = self.synthesize(&PendingInvocation {
-                    object,
-                    method,
-                    reply_to: None,
-                });
+                let prog = self.synthesize(
+                    &PendingInvocation {
+                        object,
+                        method,
+                        reply_to: None,
+                    },
+                    pool,
+                );
                 pes[pe].spawn(prog).expect("idle thread count was checked");
                 self.dispatched += 1;
                 self.dispatched_per_object[object.0] += 1;
@@ -513,7 +537,10 @@ impl Runtime {
     /// Synthesizes the handler program for one invocation from its memoized
     /// plan; only the fractional-multiplicity carry and message sequence
     /// numbers vary between invocations of the same `(object, method)`.
-    fn synthesize(&mut self, inv: &PendingInvocation) -> Program {
+    /// Marshalled message buffers come from the payload arena; the bodies
+    /// are all-zero (only sizes are simulated), so the zero-body encoder
+    /// writes them without an intermediate body vector.
+    fn synthesize(&mut self, inv: &PendingInvocation, pool: &mut PayloadPool) -> Program {
         let plan = self.plan_for(inv.object, inv.method);
         let mut ops = Vec::new();
         if plan.local_bytes > 0 {
@@ -545,9 +572,15 @@ impl Runtime {
             self.edge_carry[e.edge_idx] -= count as f64;
             for _ in 0..count {
                 let seq = self.next_seq();
-                let msg =
-                    Message::invocation(e.to, e.to_method, seq, vec![0u8; e.arg_bytes as usize]);
-                let data = msg.encode();
+                let mut data = pool.take();
+                Message::encode_zeroed_into(
+                    MessageKind::Invocation,
+                    e.to,
+                    e.to_method,
+                    seq,
+                    e.arg_bytes as usize,
+                    &mut data,
+                );
                 let bytes = data.len() as u64;
                 if e.twoway {
                     ops.push(Op::Call {
@@ -568,13 +601,16 @@ impl Runtime {
         }
         // Twoway: answer the caller with the echoed request tag.
         if let Some((reply_to, tag)) = inv.reply_to {
-            let msg = Message::reply(
+            let seq = self.next_seq();
+            let mut data = pool.take();
+            Message::encode_zeroed_into(
+                MessageKind::Reply,
                 inv.object,
                 inv.method,
-                self.next_seq(),
-                vec![0u8; plan.reply_body_bytes as usize],
+                seq,
+                plan.reply_body_bytes as usize,
+                &mut data,
             );
-            let data = msg.encode();
             let bytes = data.len() as u64;
             ops.push(Op::Send {
                 dst: reply_to,
@@ -832,10 +868,11 @@ mod tests {
             method: MethodId(0),
             reply_to: None,
         };
-        let first = rt.synthesize(&inv);
+        let mut pool = PayloadPool::new();
+        let first = rt.synthesize(&inv, &mut pool);
         let (hits_after_first, plans) = rt.plan_cache_stats();
         assert_eq!(plans, 1, "one plan per (object, method)");
-        let second = rt.synthesize(&inv);
+        let second = rt.synthesize(&inv, &mut pool);
         let (hits_after_second, plans) = rt.plan_cache_stats();
         assert_eq!(plans, 1, "second synthesis reuses the cached plan");
         assert!(hits_after_second > hits_after_first, "cache must hit");
@@ -852,7 +889,7 @@ mod tests {
         // And the cached path is byte-identical to a cold runtime at the
         // same sequence state.
         let mut cold = runtime();
-        let cold_first = cold.synthesize(&inv);
+        let cold_first = cold.synthesize(&inv, &mut PayloadPool::new());
         assert_eq!(first, cold_first);
     }
 
@@ -891,11 +928,14 @@ mod tests {
             })
         );
         // The synthesized handler now front-loads the three service calls.
-        let prog = rt.synthesize(&PendingInvocation {
-            object: ObjectId(0),
-            method: MethodId(0),
-            reply_to: None,
-        });
+        let prog = rt.synthesize(
+            &PendingInvocation {
+                object: ObjectId(0),
+                method: MethodId(0),
+                reply_to: None,
+            },
+            &mut PayloadPool::new(),
+        );
         assert_eq!(prog.call_count(), 3);
     }
 }

@@ -149,6 +149,14 @@ impl Message {
     /// Encodes to bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the encoded form to `out` — the allocation-reuse variant of
+    /// [`Message::encode`] for callers holding a recycled payload buffer.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.wire_len());
         out.push(self.kind.to_byte());
         out.push(0);
         out.extend_from_slice(&(self.object.0 as u32).to_le_bytes());
@@ -156,7 +164,31 @@ impl Message {
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&(self.body.len() as u32).to_le_bytes());
         out.extend_from_slice(&self.body);
-        out
+    }
+
+    /// Appends the encoding of a message whose body is `body_len` zero
+    /// bytes directly to `out`, without materializing the body vector.
+    ///
+    /// Byte-identical to `Message { kind, object, method, seq, body:
+    /// vec![0; body_len] }.encode()` — the runtime's marshalled traffic is
+    /// all zero-bodied (only sizes are simulated), and this is its path
+    /// through the payload arena.
+    pub fn encode_zeroed_into(
+        kind: MessageKind,
+        object: ObjectId,
+        method: MethodId,
+        seq: u32,
+        body_len: usize,
+        out: &mut Vec<u8>,
+    ) {
+        out.reserve(Self::HEADER_LEN + body_len);
+        out.push(kind.to_byte());
+        out.push(0);
+        out.extend_from_slice(&(object.0 as u32).to_le_bytes());
+        out.extend_from_slice(&method.0.to_le_bytes());
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(&(body_len as u32).to_le_bytes());
+        out.resize(out.len() + body_len, 0);
     }
 
     /// Decodes from bytes.
@@ -166,7 +198,44 @@ impl Message {
     /// See [`DecodeError`]; any malformed header or length mismatch is
     /// rejected rather than guessed at.
     pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
-        if bytes.len() < Self::HEADER_LEN {
+        let v = MessageView::decode(bytes)?;
+        Ok(Message {
+            kind: v.kind,
+            object: v.object,
+            method: v.method,
+            seq: v.seq,
+            body: v.body.to_vec(),
+        })
+    }
+}
+
+/// A decoded message borrowing its body from the wire bytes.
+///
+/// The dispatch hot path only inspects the header fields, so copying the
+/// body out (as [`Message::decode`] must, to own it) is wasted work there.
+/// Validation is identical to [`Message::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageView<'a> {
+    /// Invocation or reply.
+    pub kind: MessageKind,
+    /// Target (for invocations) or originating (for replies) object.
+    pub object: ObjectId,
+    /// Target method.
+    pub method: MethodId,
+    /// Correlation sequence number.
+    pub seq: u32,
+    /// Marshalled argument or result bytes, borrowed.
+    pub body: &'a [u8],
+}
+
+impl<'a> MessageView<'a> {
+    /// Decodes a message without copying the body.
+    ///
+    /// # Errors
+    ///
+    /// See [`DecodeError`] — the same rejections as [`Message::decode`].
+    pub fn decode(bytes: &'a [u8]) -> Result<Self, DecodeError> {
+        if bytes.len() < Message::HEADER_LEN {
             return Err(DecodeError::TooShort { have: bytes.len() });
         }
         let kind = MessageKind::from_byte(bytes[0]).ok_or(DecodeError::BadKind(bytes[0]))?;
@@ -177,19 +246,19 @@ impl Message {
         let method = u16::from_le_bytes(bytes[6..8].try_into().expect("fixed slice"));
         let seq = u32::from_le_bytes(bytes[8..12].try_into().expect("fixed slice"));
         let len = u32::from_le_bytes(bytes[12..16].try_into().expect("fixed slice")) as usize;
-        let actual = bytes.len() - Self::HEADER_LEN;
+        let actual = bytes.len() - Message::HEADER_LEN;
         if len != actual {
             return Err(DecodeError::LengthMismatch {
                 declared: len,
                 actual,
             });
         }
-        Ok(Message {
+        Ok(MessageView {
             kind,
             object: ObjectId(object as usize),
             method: MethodId(method),
             seq,
-            body: bytes[Self::HEADER_LEN..].to_vec(),
+            body: &bytes[Message::HEADER_LEN..],
         })
     }
 }
@@ -243,6 +312,40 @@ mod tests {
                 declared: 3,
                 actual: 2
             })
+        );
+    }
+
+    #[test]
+    fn encode_zeroed_into_matches_encode() {
+        for len in [0usize, 1, 17, 300] {
+            let m = Message::invocation(ObjectId(9), MethodId(3), 77, vec![0u8; len]);
+            let mut out = Vec::new();
+            Message::encode_zeroed_into(
+                MessageKind::Invocation,
+                ObjectId(9),
+                MethodId(3),
+                77,
+                len,
+                &mut out,
+            );
+            assert_eq!(out, m.encode());
+        }
+    }
+
+    #[test]
+    fn view_decode_matches_owned_decode() {
+        let m = Message::reply(ObjectId(5), MethodId(2), 1234, vec![7, 8, 9]);
+        let bytes = m.encode();
+        let v = MessageView::decode(&bytes).unwrap();
+        assert_eq!(v.kind, m.kind);
+        assert_eq!(v.object, m.object);
+        assert_eq!(v.method, m.method);
+        assert_eq!(v.seq, m.seq);
+        assert_eq!(v.body, &m.body[..]);
+        // And the same rejections.
+        assert_eq!(
+            MessageView::decode(&bytes[..10]),
+            Err(DecodeError::TooShort { have: 10 })
         );
     }
 

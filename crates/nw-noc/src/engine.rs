@@ -20,7 +20,7 @@ use crate::packet::{Packet, PacketId};
 use crate::topology::Topology;
 use nw_sim::{Clocked, Counter, EventQueue, Histogram};
 use nw_types::{Cycles, NodeId};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
 /// Tuning knobs of the NoC timing model.
@@ -115,6 +115,23 @@ pub struct NocStats {
     pub latency: Histogram,
 }
 
+/// The scalar counters of [`NocStats`], without the latency histogram.
+///
+/// [`Noc::counts`] hands this out by value on hot paths (per-cycle harness
+/// loops, assertions) where cloning the 65-bucket histogram that
+/// [`Noc::stats`] snapshots would be pure overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocCounts {
+    /// Packets accepted into NI queues.
+    pub injected: u64,
+    /// Packets delivered to their destination eject queue.
+    pub delivered: u64,
+    /// Injection attempts refused because the NI was full.
+    pub refused: u64,
+    /// Sum of flits × hops transported (link occupancy proxy).
+    pub flit_hops: u64,
+}
+
 /// A simulated network-on-chip: topology + routers + in-flight transfers.
 ///
 /// # Examples
@@ -159,6 +176,30 @@ pub struct Noc {
     queued_total: usize,
     /// Packets delivered but not yet taken via [`Noc::eject`].
     eject_pending: usize,
+    /// Timed router wakes: `(cycle, router)` entries meaning "router may be
+    /// able to fire at `cycle`" (a port or shared medium frees then). The
+    /// event-wheel that lets `transmit` visit only routers with something to
+    /// do, and `next_event_cycle` answer with the true next busy-path event.
+    wakes: EventQueue<usize>,
+    /// Earliest pending wake cycle per router (`u64::MAX` = none). Bounds
+    /// the wheel: a wake is only scheduled when it precedes every pending
+    /// wake of that router; later needs are rediscovered when the earlier
+    /// wake fires and the router is re-examined.
+    wake_at: Vec<u64>,
+    /// Reverse adjacency: `preds[r]` lists routers with a link into `r`.
+    /// When a buffer slot frees at `r` (credit appears), these are the
+    /// routers whose blocked output ports may become able to fire.
+    preds: Vec<Vec<usize>>,
+    /// Scratch worklist of routers to visit this transmit pass, ordered by
+    /// router index so credit contention resolves exactly as the dense
+    /// ascending scan does. Kept allocated across ticks.
+    ready: BTreeSet<usize>,
+    /// Whether endpoint `r`'s NI head can make progress right now (local
+    /// destination, or remote with the bubble-rule two free slots).
+    ni_ready: Vec<bool>,
+    /// Number of `true` entries in `ni_ready` — `drain_ni`'s gate and the
+    /// NI contribution to `next_event_cycle`.
+    ni_ready_count: usize,
 }
 
 impl Noc {
@@ -172,6 +213,14 @@ impl Noc {
         for r in 0..topo.n_routers() {
             for l in topo.links_of(r) {
                 in_degree[l.to] += 1;
+            }
+        }
+        let mut preds = vec![Vec::new(); topo.n_routers()];
+        for r in 0..topo.n_routers() {
+            for l in topo.links_of(r) {
+                if !preds[l.to].contains(&r) {
+                    preds[l.to].push(r);
+                }
             }
         }
         let routers = (0..topo.n_routers())
@@ -196,6 +245,8 @@ impl Noc {
                 queued: 0,
             })
             .collect();
+        let n_routers = topo.n_routers();
+        let n_endpoints = topo.n_endpoints();
         Noc {
             topo,
             cfg,
@@ -210,6 +261,12 @@ impl Noc {
             ni_pending: 0,
             queued_total: 0,
             eject_pending: 0,
+            wakes: EventQueue::new(),
+            wake_at: vec![u64::MAX; n_routers],
+            preds,
+            ready: BTreeSet::new(),
+            ni_ready: vec![false; n_endpoints],
+            ni_ready_count: 0,
         }
     }
 
@@ -255,6 +312,7 @@ impl Noc {
         }
         let id = PacketId(self.next_id);
         self.next_id += 1;
+        let was_empty = self.routers[src.0].ni_in.is_empty();
         self.routers[src.0].ni_in.push_back(Packet {
             id,
             src,
@@ -264,6 +322,13 @@ impl Noc {
             injected_at: now,
         });
         self.ni_pending += 1;
+        // A push onto an empty NI creates a new head; readiness of a
+        // non-empty NI is a property of its unchanged front.
+        if was_empty && !self.ni_ready[src.0] && (dst == src || self.routers[src.0].input_free >= 2)
+        {
+            self.ni_ready[src.0] = true;
+            self.ni_ready_count += 1;
+        }
         self.injected.incr();
         Ok(id)
     }
@@ -300,14 +365,40 @@ impl Noc {
     }
 
     /// The earliest cycle `>= now` at which ticking can change engine state,
-    /// or `None` when the fabric is completely drained. Conservative: queued
-    /// NI or port traffic answers `now` even if back-pressure would stall it
-    /// this cycle, so skipping to the returned cycle never overshoots.
+    /// or `None` when no tick before the next external injection can move
+    /// anything. Exact on the busy path: queued traffic that is stalled on
+    /// multi-cycle link occupancy answers the cycle the earliest port frees
+    /// (the event-wheel head) rather than `now`, so saturated fabrics
+    /// fast-forward across serialization stalls. Traffic blocked purely on
+    /// credit contributes nothing — the fire or delivery that frees the
+    /// buffer is itself a tracked event that re-arms the wheel.
     pub fn next_event_cycle(&self, now: Cycles) -> Option<Cycles> {
-        if self.ni_pending > 0 || self.queued_total > 0 {
-            return Some(now);
+        let mut next: Option<Cycles> = None;
+        let mut fold = |c: Cycles| {
+            next = Some(next.map_or(c, |n: Cycles| n.min(c)));
+        };
+        if self.ni_ready_count > 0 {
+            fold(now);
         }
-        self.arrivals.next_due().map(|d| d.max(now))
+        if let Some(d) = self.arrivals.next_due() {
+            fold(d.max(now));
+        }
+        if self.queued_total > 0 {
+            if let Some(d) = self.wakes.next_due() {
+                fold(d.max(now));
+            }
+        }
+        next
+    }
+
+    /// Whether ticking at `now` would change engine state: an arrival or
+    /// router wake is due, or an NI head can inject. The platform's
+    /// active-set scheduler uses this to skip the tick entirely on cycles
+    /// where the fabric, though loaded, is provably stalled.
+    pub fn due_now(&self, now: Cycles) -> bool {
+        self.ni_ready_count > 0
+            || self.arrivals.next_due().is_some_and(|d| d <= now)
+            || (self.queued_total > 0 && self.wakes.next_due().is_some_and(|d| d <= now))
     }
 
     /// Packets accepted but not yet delivered to an eject queue.
@@ -315,7 +406,10 @@ impl Noc {
         self.injected.count() - self.delivered.count()
     }
 
-    /// Snapshot of the aggregate statistics.
+    /// Snapshot of the aggregate statistics, including a clone of the
+    /// latency histogram — report assembly only. Hot paths that need the
+    /// scalar counters should use [`Noc::counts`], and the distribution can
+    /// be read in place through [`Noc::latency_hist`].
     pub fn stats(&self) -> NocStats {
         NocStats {
             injected: self.injected.count(),
@@ -326,14 +420,29 @@ impl Noc {
         }
     }
 
-    /// True when nothing is queued or in flight anywhere.
+    /// The scalar statistics counters, without cloning the histogram.
+    pub fn counts(&self) -> NocCounts {
+        NocCounts {
+            injected: self.injected.count(),
+            delivered: self.delivered.count(),
+            refused: self.refused.count(),
+            flit_hops: self.flit_hops.count(),
+        }
+    }
+
+    /// The end-to-end latency distribution, borrowed.
+    pub fn latency_hist(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// True when nothing is queued or in flight anywhere. O(1): answered
+    /// from the same pending-work counters that gate the tick phases, not
+    /// a walk of every router's ports.
     pub fn is_quiescent(&self) -> bool {
         self.arrivals.is_empty()
-            && self.routers.iter().all(|r| {
-                r.ni_in.is_empty()
-                    && r.eject.is_empty()
-                    && r.ports.iter().all(|p| p.queue.is_empty())
-            })
+            && self.ni_pending == 0
+            && self.queued_total == 0
+            && self.eject_pending == 0
     }
 
     fn deliver(&mut self, router: usize, packet: Packet, now: Cycles) {
@@ -343,11 +452,56 @@ impl Noc {
         self.eject_pending += 1;
     }
 
+    /// Schedules a wake of router `r` at cycle `at` unless an earlier (or
+    /// same-cycle) wake is already pending. Later needs than the pending
+    /// wake are rediscovered when that wake fires: the visit re-examines
+    /// every queued port and re-arms the wheel, so one pending entry per
+    /// router is enough to chain to any future firing opportunity.
+    fn schedule_wake(&mut self, r: usize, at: u64) {
+        if at < self.wake_at[r] {
+            self.wake_at[r] = at;
+            self.wakes.schedule(Cycles(at), r);
+        }
+    }
+
+    /// A buffer slot freed at router `r`: blocked output ports of its
+    /// predecessors may now be able to fire. Predecessors with nothing
+    /// queued are skipped — a later queue push wakes them itself.
+    fn wake_preds(&mut self, r: usize, at: u64) {
+        for i in 0..self.preds[r].len() {
+            let u = self.preds[r][i];
+            if self.routers[u].queued > 0 {
+                self.schedule_wake(u, at);
+            }
+        }
+    }
+
+    /// Credit appeared at endpoint router `r`: a remote-bound NI head that
+    /// was blocked on the bubble rule may now inject. (A blocked non-empty
+    /// NI always has a remote head — local heads are popped unconditionally
+    /// by `drain_ni` the tick they reach the front.)
+    fn ni_credit_check(&mut self, r: usize) {
+        if r < self.ni_ready.len()
+            && !self.ni_ready[r]
+            && !self.routers[r].ni_in.is_empty()
+            && self.routers[r].input_free >= 2
+        {
+            self.ni_ready[r] = true;
+            self.ni_ready_count += 1;
+        }
+    }
+
     fn drain_arrivals(&mut self, now: Cycles) {
         while let Some(Arrival { router, packet }) = self.arrivals.pop_due(now) {
             if packet.dst.0 == router {
-                // Destination reached: free the buffer slot and eject.
+                // Destination reached: free the buffer slot and eject. The
+                // freed credit may unblock upstream ports (this very cycle —
+                // arrivals drain before transmit) and the local NI.
                 self.routers[router].input_free += 1;
+                if self.routers[router].input_free == 1 {
+                    self.wake_preds(router, now.0);
+                }
+                self.ni_credit_check(router);
                 self.deliver(router, packet, now);
             } else {
                 let port = self
@@ -358,18 +512,20 @@ impl Noc {
                 self.routers[router].ports[port].queue.push_back(packet);
                 self.routers[router].queued += 1;
                 self.queued_total += 1;
+                self.schedule_wake(router, now.0);
             }
         }
     }
 
     fn drain_ni(&mut self, now: Cycles) {
-        // Quiescent-NI skip: no endpoint holds injection traffic, so the
-        // per-endpoint scan below would be all no-ops.
-        if self.ni_pending == 0 {
+        // Quiescent-NI skip: no endpoint holds a head that can progress —
+        // every queued head is remote and bubble-blocked, which only a
+        // tracked credit event can change, so the scan would be all no-ops.
+        if self.ni_ready_count == 0 {
             return;
         }
         for r in 0..self.topo.n_endpoints() {
-            if self.routers[r].ni_in.is_empty() {
+            if !self.ni_ready[r] {
                 continue;
             }
             while let Some(front_dst) = self.routers[r].ni_in.front().map(|p| p.dst) {
@@ -394,13 +550,23 @@ impl Noc {
                 self.routers[r].ports[port].queue.push_back(p);
                 self.routers[r].queued += 1;
                 self.queued_total += 1;
+                self.schedule_wake(r, now.0);
             }
+            // The loop runs until this NI is empty or bubble-blocked;
+            // either way its head can no longer progress.
+            self.ni_ready[r] = false;
+            self.ni_ready_count -= 1;
         }
     }
 
     /// Starts the transfer of the head packet of `routers[r].ports[p]`,
     /// assuming the caller verified readiness and downstream credit.
-    fn fire(&mut self, r: usize, p: usize, now: Cycles) {
+    ///
+    /// `pass` is the in-progress transmit worklist: the slot this fire
+    /// frees at `r` is visible to higher-indexed routers in the same
+    /// dense scan, so same-cycle predecessor wakes above `r` join the
+    /// current pass while the rest wait for the next cycle.
+    fn fire(&mut self, r: usize, p: usize, now: Cycles, pass: &mut BTreeSet<usize>) {
         debug_assert!(self.routers[r].queued > 0, "fire on a quiescent router");
         self.routers[r].queued -= 1;
         self.queued_total -= 1;
@@ -416,60 +582,121 @@ impl Noc {
         // Cut-through: the slot at r frees as transmission starts, the slot
         // downstream was reserved by the caller.
         self.routers[r].input_free += 1;
+        if self.routers[r].input_free == 1 {
+            for i in 0..self.preds[r].len() {
+                let u = self.preds[r][i];
+                if self.routers[u].queued == 0 {
+                    continue;
+                }
+                if u > r {
+                    pass.insert(u);
+                } else {
+                    self.schedule_wake(u, now.0 + 1);
+                }
+            }
+        }
+        self.ni_credit_check(r);
         let arrive = Cycles(now.0 + ser + wire_lat + self.cfg.router_delay);
         self.arrivals
             .schedule(arrive, Arrival { router: to, packet });
     }
 
-    fn transmit(&mut self, now: Cycles) {
-        // Quiescent-fabric skip: no router holds queued output traffic.
-        if self.queued_total == 0 {
-            return;
+    /// One router's share of the transmit pass: exactly the dense per-port
+    /// scan, plus event-wheel re-arming for every timed reason the router
+    /// could fire later (port serialization, shared-medium occupancy).
+    /// Credit-blocked ports schedule nothing — the fire or delivery that
+    /// frees the buffer wakes this router through `wake_preds`.
+    fn visit_router(&mut self, r: usize, now: Cycles, pass: &mut BTreeSet<usize>) {
+        if self.routers[r].queued == 0 {
+            return; // spurious wake: the queue drained before we got here
         }
-        for r in 0..self.routers.len() {
-            // Quiescent-router skip: nothing queued on any output port
-            // means nothing can fire — don't walk the ports.
-            if self.routers[r].queued == 0 {
-                continue;
+        if self.routers[r].shared {
+            // Bus arbiter: one transfer at a time, round-robin grant.
+            if self.routers[r].shared_busy_until > now.0 {
+                self.schedule_wake(r, self.routers[r].shared_busy_until);
+                return;
             }
-            if self.routers[r].shared {
-                // Bus arbiter: one transfer at a time, round-robin grant.
-                if self.routers[r].shared_busy_until > now.0 {
+            let nports = self.routers[r].ports.len();
+            let start = self.routers[r].rr_next;
+            for k in 0..nports {
+                let p = (start + k) % nports;
+                let ready = {
+                    let port = &self.routers[r].ports[p];
+                    !port.queue.is_empty() && self.routers[port.to].input_free > 0
+                };
+                if ready {
+                    let to = self.routers[r].ports[p].to;
+                    self.routers[to].input_free -= 1;
+                    self.fire(r, p, now, pass);
+                    self.routers[r].shared_busy_until = self.routers[r].ports[p].busy_until;
+                    self.routers[r].rr_next = (p + 1) % nports;
+                    if self.routers[r].queued > 0 {
+                        self.schedule_wake(r, self.routers[r].shared_busy_until);
+                    }
+                    break;
+                }
+            }
+        } else {
+            for p in 0..self.routers[r].ports.len() {
+                if self.routers[r].ports[p].queue.is_empty() {
                     continue;
                 }
-                let nports = self.routers[r].ports.len();
-                let start = self.routers[r].rr_next;
-                for k in 0..nports {
-                    let p = (start + k) % nports;
-                    let ready = {
-                        let port = &self.routers[r].ports[p];
-                        !port.queue.is_empty() && self.routers[port.to].input_free > 0
-                    };
-                    if ready {
-                        let to = self.routers[r].ports[p].to;
-                        self.routers[to].input_free -= 1;
-                        self.fire(r, p, now);
-                        self.routers[r].shared_busy_until = self.routers[r].ports[p].busy_until;
-                        self.routers[r].rr_next = (p + 1) % nports;
-                        break;
-                    }
+                let busy_until = self.routers[r].ports[p].busy_until;
+                if busy_until > now.0 {
+                    self.schedule_wake(r, busy_until);
+                    continue;
                 }
-            } else {
-                for p in 0..self.routers[r].ports.len() {
-                    let ready = {
-                        let port = &self.routers[r].ports[p];
-                        port.busy_until <= now.0
-                            && !port.queue.is_empty()
-                            && self.routers[port.to].input_free > 0
-                    };
-                    if ready {
-                        let to = self.routers[r].ports[p].to;
-                        self.routers[to].input_free -= 1;
-                        self.fire(r, p, now);
-                    }
+                let to = self.routers[r].ports[p].to;
+                if self.routers[to].input_free == 0 {
+                    continue;
+                }
+                self.routers[to].input_free -= 1;
+                self.fire(r, p, now, pass);
+                if !self.routers[r].ports[p].queue.is_empty() {
+                    // More packets behind the one now serializing.
+                    self.schedule_wake(r, self.routers[r].ports[p].busy_until);
                 }
             }
         }
+    }
+
+    /// The transmit pass. With `full_scan` every router holding queued
+    /// traffic is visited (the dense reference); otherwise only routers
+    /// the event wheel or a same-cycle push woke. Both orders are the
+    /// ascending router-index order, so credit contention resolves
+    /// identically and the two paths are bit-identical.
+    fn transmit(&mut self, now: Cycles, full_scan: bool) {
+        let mut pass = std::mem::take(&mut self.ready);
+        while let Some(r) = self.wakes.pop_due(now) {
+            self.wake_at[r] = u64::MAX;
+            if !full_scan {
+                pass.insert(r);
+            }
+        }
+        if full_scan {
+            for r in 0..self.routers.len() {
+                if self.routers[r].queued > 0 {
+                    pass.insert(r);
+                }
+            }
+        }
+        if self.queued_total > 0 {
+            while let Some(r) = pass.pop_first() {
+                self.visit_router(r, now, &mut pass);
+            }
+        }
+        pass.clear();
+        self.ready = pass;
+    }
+
+    /// The dense reference tick: identical phase order to [`Noc::tick`],
+    /// but the transmit pass scans every router holding queued traffic
+    /// instead of consulting the event wheel. Kept for differential
+    /// testing — the event-driven path must be bit-identical to this.
+    pub fn tick_reference(&mut self, now: Cycles) {
+        self.drain_arrivals(now);
+        self.drain_ni(now);
+        self.transmit(now, true);
     }
 }
 
@@ -477,7 +704,7 @@ impl Clocked for Noc {
     fn tick(&mut self, now: Cycles) {
         self.drain_arrivals(now);
         self.drain_ni(now);
-        self.transmit(now);
+        self.transmit(now, false);
     }
 }
 
@@ -593,7 +820,7 @@ mod tests {
             noc.try_inject(NodeId(0), NodeId(2), vec![], 2, Cycles(0)),
             Err(InjectError::NiFull)
         );
-        assert_eq!(noc.stats().refused, 1);
+        assert_eq!(noc.counts().refused, 1);
         assert_eq!(noc.ni_free(NodeId(0)), 0);
     }
 
@@ -648,7 +875,8 @@ mod tests {
             assert!(now.0 < 100_000, "network failed to drain");
         }
         assert_eq!(sent, got);
-        assert_eq!(noc.stats().delivered, sent);
+        assert_eq!(noc.counts().delivered, sent);
+        assert_eq!(noc.latency_hist().count(), sent);
     }
 
     #[test]

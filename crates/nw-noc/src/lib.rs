@@ -34,12 +34,14 @@
 
 pub mod engine;
 pub mod packet;
+pub mod pool;
 pub mod sweep;
 pub mod topology;
 pub mod traffic;
 
-pub use engine::{InjectError, Noc, NocConfig, NocStats};
+pub use engine::{InjectError, Noc, NocConfig, NocCounts, NocStats};
 pub use packet::{Packet, PacketId};
+pub use pool::PayloadPool;
 pub use sweep::{run_open_loop, saturation_load, sweep_load, OpenLoopConfig, OpenLoopResult};
 pub use topology::{BuildTopologyError, Topology, TopologyKind};
 pub use traffic::TrafficPattern;

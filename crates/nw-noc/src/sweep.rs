@@ -127,6 +127,9 @@ pub fn run_open_loop(
     let mut delivered_flits = 0u64;
     let mut generated_flits = 0u64;
     let mut now = Cycles(0);
+    // Ejected payload buffers feed the next injections instead of the
+    // allocator; contents stay `vec![0; payload_bytes]`-identical.
+    let mut pool = crate::pool::PayloadPool::new();
 
     while now.0 < total {
         if n >= 2 {
@@ -138,18 +141,19 @@ pub fn run_open_loop(
                     let dst = cfg.pattern.pick_dst(NodeId(src), n, &mut rng);
                     // Refused injections are lost offered load — exactly what
                     // saturation means in an open-loop experiment.
-                    let _ =
-                        noc.try_inject(NodeId(src), dst, vec![0; cfg.payload_bytes], now.0, now);
+                    let payload = pool.take_zeroed(cfg.payload_bytes);
+                    let _ = noc.try_inject(NodeId(src), dst, payload, now.0, now);
                 }
             }
         }
         noc.tick(now);
         for e in 0..n {
-            while let Some(p) = noc.eject(NodeId(e)) {
+            while let Some(mut p) = noc.eject(NodeId(e)) {
                 if now.0 >= cfg.warmup {
                     latency.record(now.saturating_sub(p.injected_at));
                     delivered_flits += p.flits(cfg.noc.flit_bytes);
                 }
+                pool.put(std::mem::take(&mut p.data));
             }
         }
         now += Cycles(1);

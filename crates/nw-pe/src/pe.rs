@@ -160,7 +160,13 @@ pub struct Pe {
     requests: VecDeque<(ThreadId, PeRequest)>,
     core: Utilization,
     tasks_completed: u64,
-    energy: Picojoules,
+    /// Scratchpad access energy. Core issue energy is not accumulated
+    /// per cycle: it is exactly `energy_per_cycle × busy issue slots`, so
+    /// [`Pe::stats`] derives it from the core utilization counter — one
+    /// multiply instead of a float addition per cycle, and bulk compute
+    /// fast-forwards ([`Pe::advance_quiet`]) stay bit-identical to
+    /// per-cycle ticking.
+    mem_energy: Picojoules,
     /// Cycle up to which (exclusive) busy/idle accounting has been applied.
     /// An active-set scheduler may skip ticking a dormant PE (every thread
     /// `Idle` or `AwaitingCompletion`); the skipped cycles are settled in
@@ -190,7 +196,7 @@ impl Pe {
             requests: VecDeque::new(),
             core: Utilization::new(),
             tasks_completed: 0,
-            energy: Picojoules::ZERO,
+            mem_energy: Picojoules::ZERO,
             accounted_to: 0,
         }
     }
@@ -324,6 +330,7 @@ impl Pe {
 
     /// Statistics snapshot.
     pub fn stats(&self) -> PeStats {
+        let issue_energy = self.cfg.class.energy_per_cycle().0 * self.core.busy_cycles() as f64;
         PeStats {
             core_utilization: self.core.fraction(),
             thread_occupancy: self
@@ -332,9 +339,104 @@ impl Pe {
                 .map(|t| t.occupancy.fraction())
                 .collect(),
             tasks_completed: self.tasks_completed,
-            energy: self.energy,
+            energy: Picojoules(self.mem_energy.0 + issue_energy),
             swaps: self.swaps,
         }
+    }
+
+    /// The number of upcoming cycles over which this PE's evolution is
+    /// provably bulk-computable, or `None` when the next tick may do
+    /// arbitrary work and must run normally. Two skippable shapes:
+    ///
+    /// * **Compute burst** (switch-on-stall): the issuing context is mid
+    ///   [`Op::Compute`] with that many decrements left before anything
+    ///   state-changing — retirement, a new op, a swap — can happen.
+    ///   Nothing preempts a runnable current context, so other threads
+    ///   maturing from scratchpad stalls or completions arriving do not
+    ///   alter the span's accounting.
+    /// * **Whole-PE stall**: every context is idle, awaiting a platform
+    ///   completion, or sleeping on a scratchpad stall — no issue slot
+    ///   fires until the earliest stall matures, which bounds the span.
+    ///
+    /// Used with [`Pe::advance_quiet`] by the platform's active-set
+    /// scheduler to fast-forward busy (not merely idle) spans.
+    pub fn quiet_span(&self, now: Cycles) -> Option<u64> {
+        if self.swap_remaining > 0 || !self.requests.is_empty() {
+            return None;
+        }
+        if self.cfg.policy == SchedPolicy::SwitchOnStall {
+            if let ThreadState::Computing { remaining } = self.threads[self.current].state {
+                return (remaining >= 2).then_some(remaining - 1);
+            }
+        }
+        // Whole-PE stall: no context may be runnable now or become runnable
+        // inside the span (a matured stall swaps in on the next tick).
+        let mut earliest = u64::MAX;
+        for t in &self.threads {
+            match t.state {
+                ThreadState::Idle | ThreadState::AwaitingCompletion => {}
+                ThreadState::ScratchpadStall { until } if until > now.0 => {
+                    earliest = earliest.min(until);
+                }
+                _ => return None,
+            }
+        }
+        if earliest == u64::MAX {
+            // Fully dormant — the caller's lazy settle path covers this.
+            return None;
+        }
+        Some(earliest - now.0)
+    }
+
+    /// Bulk-applies `k` cycles of the span promised by [`Pe::quiet_span`]
+    /// — counter arithmetic identical to `k` per-cycle ticks. A compute
+    /// burst decrements with the core issuing busy and the current thread
+    /// running; a whole-PE stall accrues idle issue slots with occupancy
+    /// for every non-idle context (the same arithmetic as
+    /// [`Pe::settle_accounting`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `k` exceeds the promised span.
+    pub fn advance_quiet(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        let cur = self.current;
+        if self.cfg.policy == SchedPolicy::SwitchOnStall {
+            if let ThreadState::Computing { remaining } = self.threads[cur].state {
+                debug_assert!(remaining > k, "advance_quiet beyond the compute burst");
+                self.threads[cur].state = ThreadState::Computing {
+                    remaining: remaining - k,
+                };
+                for (j, t) in self.threads.iter_mut().enumerate() {
+                    if matches!(t.state, ThreadState::Idle) {
+                        t.occupancy.idle_n(k);
+                    } else {
+                        t.occupancy.busy_n(k);
+                    }
+                    if j == cur {
+                        t.busy.busy_n(k);
+                    } else {
+                        t.busy.idle_n(k);
+                    }
+                }
+                self.core.busy_n(k);
+                self.accounted_to += k;
+                return;
+            }
+        }
+        // Whole-PE stall: no issue slot fires during the span.
+        for t in &mut self.threads {
+            if matches!(t.state, ThreadState::Idle) {
+                t.occupancy.idle_n(k);
+            } else {
+                t.occupancy.busy_n(k);
+            }
+            t.busy.idle_n(k);
+        }
+        self.core.idle_n(k);
+        self.accounted_to += k;
     }
 
     fn thread_is_runnable(&self, i: usize, now: Cycles) -> bool {
@@ -408,7 +510,7 @@ impl Pe {
             }
             Op::LocalMem { write, bytes } => {
                 let service = self.cfg.scratchpad.service_time(write, bytes);
-                self.energy += self.cfg.scratchpad.access_energy(write, bytes);
+                self.mem_energy += self.cfg.scratchpad.access_energy(write, bytes);
                 self.threads[i].state = ThreadState::ScratchpadStall {
                     until: now.0 + service.0,
                 };
@@ -545,8 +647,8 @@ impl Clocked for Pe {
             worked = self.run_thread(i, now);
         }
         if worked {
+            // Issue energy is derived from the busy counter in `stats()`.
             self.core.busy();
-            self.energy += self.cfg.class.energy_per_cycle();
         } else {
             self.core.idle();
         }
