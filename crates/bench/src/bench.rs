@@ -360,6 +360,16 @@ pub fn run_bench(quick: bool) -> BenchReport {
             let mut rig = scenarios::ipv4_rig(16, 8, nw_noc::TopologyKind::Mesh, 4, 9.5);
             scenarios::run_ipv4(&mut rig, win / 4)
         }),
+        // T11 mix under cross-workload pressure: video + IPv4 sharing the
+        // fabric. Exercises the latency telemetry (per-object histograms,
+        // deadline misses) under both schedulers — the identity check now
+        // covers every percentile row in the report.
+        sched_case("t11-mix-6g-3g", win / 4, &|| {
+            let params = scenarios::mix_demo_params(true);
+            let mut rig =
+                scenarios::mix_rig(&params, scenarios::mix_pe_pool(&params), 4, 4, 6.0, 3.0);
+            rig.run(win / 4)
+        }),
     ];
 
     let sweeps = vec![
@@ -392,6 +402,9 @@ pub fn run_bench(quick: bool) -> BenchReport {
         }),
         sweep_case("t9-latency-sweep", &|| {
             crate::experiments::t9_modem::run(true).table
+        }),
+        sweep_case("t11-mix-grid", &|| {
+            crate::experiments::t11_mix::run(true).table
         }),
     ];
 
@@ -438,6 +451,7 @@ fn synthetic_report(utilization: f64, tasks: u64) -> PlatformReport {
         energy: nw_types::Picojoules(0.0),
         queued_invocations: 0,
         object_invocations: Vec::new(),
+        latency: Vec::new(),
         mem_accesses: 0,
         fabric_served: 0,
         hwip_served: 0,

@@ -1,4 +1,4 @@
-//! F5 — cross-chip wire delay (claim C5, paper §6.1 citing [12]).
+//! F5 — cross-chip wire delay (claim C5, paper §6.1 citing \[12\]).
 //!
 //! "In 50 nm technologies, it is predicted that the intra-chip propagation
 //! delay will be between six and ten clock cycles."

@@ -12,7 +12,7 @@ use nw_pe::SchedPolicy;
 /// Structured result.
 #[derive(Debug)]
 pub struct F6Result {
-    /// utilization[latency_idx][thread_idx].
+    /// utilization\[latency_idx\]\[thread_idx\].
     pub matrix: Vec<Vec<LatencyHidingPoint>>,
     /// Latencies swept.
     pub latencies: Vec<u64>,

@@ -9,6 +9,7 @@ pub mod f5_wire_delay;
 pub mod f6_latency_hiding;
 pub mod f7_productivity;
 pub mod t10_crypto;
+pub mod t11_mix;
 pub mod t1_mask_nre;
 pub mod t2_breakeven;
 pub mod t3_ipv4;
@@ -30,7 +31,7 @@ pub struct Experiment {
 }
 
 /// Every experiment in DESIGN.md order.
-pub const EXPERIMENTS: [Experiment; 17] = [
+pub const EXPERIMENTS: [Experiment; 18] = [
     Experiment {
         id: "t1",
         title: "mask-set NRE by technology node",
@@ -92,6 +93,10 @@ pub const EXPERIMENTS: [Experiment; 17] = [
         title: "crypto offload: hwip-bound bulk transfer (§6.4)",
     },
     Experiment {
+        id: "t11",
+        title: "mixed workloads on one fabric: per-workload latency percentiles + deadlines",
+    },
+    Experiment {
         id: "f1",
         title: "platform-continuum positioning",
     },
@@ -121,6 +126,7 @@ pub fn run_by_id(id: &str, fast: bool) -> Option<String> {
         "t8" => t8_video::run(fast).table,
         "t9" => t9_modem::run(fast).table,
         "t10" => t10_crypto::run(fast).table,
+        "t11" => t11_mix::run(fast).table,
         "f1" => f1_continuum::run().table,
         "f2" => f2_fppa_tour::run(fast).table,
         _ => return None,

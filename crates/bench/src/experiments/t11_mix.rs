@@ -1,0 +1,218 @@
+//! T11 — mixed workloads on one fabric: the interference experiment.
+//!
+//! The paper's platform thesis is that heterogeneous applications share a
+//! single FPPA under quantified budgets — not merely that each runs well
+//! alone. This experiment installs the video codec and an IPv4 fast path
+//! *together* (one application graph, one mapper run, one NoC, one frame
+//! store) and sweeps both offered loads. The observable is per-workload
+//! end-to-end latency: as the video half saturates its lanes, the packet
+//! half's route-lookup round trips stretch and start blowing their
+//! deadline budget, even while packet throughput still looks healthy —
+//! exactly the interference that throughput-only reporting misses.
+//!
+//! A second section restates the modem rig's deadline behaviour with the
+//! same telemetry: the channel-estimate p50/p95/p99 and the deadline-miss
+//! rate with and without hardware multithreading.
+
+use super::t9_modem::{self, ModemPoint};
+use crate::Table;
+use nanowall::scenarios::{mix_demo_params, mix_pe_pool, mix_rig_detailed, MixRig};
+use nw_apps::MixParams;
+use nw_sim::{parallel_map, LatencyHistogram};
+
+/// One point of the interference grid.
+#[derive(Debug, Clone)]
+pub struct MixPoint {
+    /// Offered video line rate (channel 0).
+    pub video_gbps: f64,
+    /// Offered IPv4 line rate (channel 1).
+    pub ipv4_gbps: f64,
+    /// Fraction of generated slices packed and transmitted.
+    pub video_delivered: f64,
+    /// Fraction of generated packets rewritten and transmitted.
+    pub ipv4_delivered: f64,
+    /// Video-workload end-to-end latency percentiles in cycles, merged
+    /// across every video object with recorded round trips (frame-store
+    /// fetches and rate-control queries): p50, p95, p99.
+    pub video_p50: u64,
+    /// 95th percentile (see `video_p50`).
+    pub video_p95: u64,
+    /// 99th percentile (see `video_p50`).
+    pub video_p99: u64,
+    /// Route-lookup round-trip percentiles in cycles: p50, p95, p99.
+    pub lookup_p50: u64,
+    /// 95th percentile (see `lookup_p50`).
+    pub lookup_p95: u64,
+    /// 99th percentile (see `lookup_p50`).
+    pub lookup_p99: u64,
+    /// The route-lookup deadline budget in cycles.
+    pub lookup_deadline: u64,
+    /// Fraction of lookup round trips that blew the budget.
+    pub lookup_miss_rate: f64,
+}
+
+/// Structured result.
+#[derive(Debug)]
+pub struct T11Result {
+    /// The video-rate × ipv4-rate interference grid.
+    pub grid: Vec<MixPoint>,
+    /// The modem deadline restatement (thread ablation under stress),
+    /// measured by T9's own rig harness ([`t9_modem`]).
+    pub modem: Vec<ModemPoint>,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// Merges the latency histograms of the given workload stages into one
+/// per-workload distribution (stages without samples contribute nothing).
+/// Stage indices resolve to installed objects through the rig's own
+/// stage → object directory.
+fn merged_latency(mix: &MixRig, stages: &[usize]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in stages {
+        if let Some(obj) = mix.rig.platform.object_latency(mix.objects[s]) {
+            h.merge(obj);
+        }
+    }
+    h
+}
+
+fn delivered(io: &nanowall::PlatformReport, ch: usize) -> f64 {
+    let r = &io.io[ch];
+    if r.generated == 0 {
+        0.0
+    } else {
+        r.transmitted as f64 / r.generated as f64
+    }
+}
+
+fn measure(params: &MixParams, video_gbps: f64, ipv4_gbps: f64, cycles: u64) -> MixPoint {
+    let mut mix = mix_rig_detailed(params, mix_pe_pool(params), 4, 4, video_gbps, ipv4_gbps);
+    let report = mix.rig.run(cycles);
+    let video = merged_latency(&mix, &mix.workload.video_stages);
+    let lookup = report
+        .object_latency(mix.objects[mix.workload.route_lookup].0)
+        .expect("lookup latency is tracked");
+    MixPoint {
+        video_gbps,
+        ipv4_gbps,
+        video_delivered: delivered(&report, 0),
+        ipv4_delivered: delivered(&report, 1),
+        video_p50: video.p50().0,
+        video_p95: video.p95().0,
+        video_p99: video.p99().0,
+        lookup_p50: lookup.p50.0,
+        lookup_p95: lookup.p95.0,
+        lookup_p99: lookup.p99.0,
+        lookup_deadline: lookup.deadline.expect("mix rig sets the budget"),
+        lookup_miss_rate: lookup.miss_rate(),
+    }
+}
+
+/// Runs T11: the interference grid, then the modem deadline restatement.
+pub fn run(fast: bool) -> T11Result {
+    let cycles = if fast { 40_000 } else { 120_000 };
+    let params = mix_demo_params(fast);
+    // The ipv4 axis stays within what the packet chains sustain alone
+    // (40-byte worst-case packets), so rising tail latency and deadline
+    // misses measure *interference* from the video half, not plain
+    // single-workload overload.
+    let video_rates: &[f64] = if fast { &[1.0, 6.0] } else { &[1.0, 4.0, 8.0] };
+    let ipv4_rates: &[f64] = if fast { &[0.3, 1.5] } else { &[0.5, 1.5, 2.5] };
+    let points: Vec<(f64, f64)> = video_rates
+        .iter()
+        .flat_map(|&v| ipv4_rates.iter().map(move |&i| (v, i)))
+        .collect();
+    // Every grid point simulates an independent platform, so the whole
+    // interference surface fans out over the worker pool; order is
+    // preserved, keeping the table byte-identical to a serial run.
+    let grid: Vec<MixPoint> = parallel_map(points, |(v, i)| measure(&params, v, i, cycles));
+
+    let mut t = Table::new(&[
+        "video Gb/s",
+        "ipv4 Gb/s",
+        "video del",
+        "ipv4 del",
+        "video p50/p95/p99",
+        "lookup p50/p95/p99",
+        "deadline",
+        "miss",
+    ]);
+    for p in &grid {
+        t.row_owned(vec![
+            format!("{:.1}", p.video_gbps),
+            format!("{:.1}", p.ipv4_gbps),
+            format!("{:.0}%", p.video_delivered * 100.0),
+            format!("{:.0}%", p.ipv4_delivered * 100.0),
+            format!("{}/{}/{} cyc", p.video_p50, p.video_p95, p.video_p99),
+            format!("{}/{}/{} cyc", p.lookup_p50, p.lookup_p95, p.lookup_p99),
+            format!("{} cyc", p.lookup_deadline),
+            format!("{:.1}%", p.lookup_miss_rate * 100.0),
+        ]);
+    }
+
+    // A deliberate restatement of T9's stress ablation, measured by T9's
+    // own harness so the two tables cannot drift: T11 is the latency
+    // experiment, and its output must answer "does the modem meet its
+    // deadline?" on its own.
+    let modem: Vec<ModemPoint> = parallel_map(vec![1usize, 2, 4], |threads| {
+        t9_modem::measure(50, threads, 1800.0, cycles)
+    });
+    let mut mt = Table::new(&["threads", "est p50/p95/p99", "miss"]);
+    for p in &modem {
+        mt.row_owned(vec![
+            p.threads.to_string(),
+            format!("{}/{}/{} cyc", p.est_p50, p.est_p95, p.est_p99),
+            format!("{:.1}%", p.est_miss_rate * 100.0),
+        ]);
+    }
+
+    T11Result {
+        table: format!(
+            "T11  Mixed workloads on one fabric: video codec + IPv4 fast path, per-workload end-to-end latency\n{}\nModem deadline under stress (50-cycle links, 1800 Mb/s): channel-estimate round trips vs budget\n{}",
+            t.render(),
+            mt.render()
+        ),
+        grid,
+        modem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interference_shows_up_in_packet_latency() {
+        let r = run(true);
+        assert_eq!(r.grid.len(), 4);
+        // Every point measures both workloads.
+        for p in &r.grid {
+            assert!(p.video_p50 > 0, "{p:?}");
+            assert!(p.lookup_p50 > 0, "{p:?}");
+            assert!(
+                p.lookup_p50 <= p.lookup_p95 && p.lookup_p95 <= p.lookup_p99,
+                "{p:?}"
+            );
+        }
+        // The gentle corner delivers both workloads and meets the budget.
+        let calm = &r.grid[0];
+        assert!(calm.video_delivered > 0.7, "{calm:?}");
+        assert!(calm.ipv4_delivered > 0.7, "{calm:?}");
+        assert!(calm.lookup_miss_rate < 0.05, "{calm:?}");
+        // Cranking the video load stretches the packet tail: the hottest
+        // corner's lookup p99 dominates the calm corner's.
+        let hot = r.grid.last().unwrap();
+        assert!(hot.lookup_p99 >= calm.lookup_p99, "{calm:?} vs {hot:?}");
+        // The modem section reports live percentiles and recovers its
+        // deadline with threads.
+        assert_eq!(r.modem.len(), 3);
+        let one = &r.modem[0];
+        let four = r.modem.last().unwrap();
+        assert!(one.est_p50 > 0, "{one:?}");
+        assert!(
+            one.est_miss_rate >= four.est_miss_rate,
+            "{one:?} vs {four:?}"
+        );
+    }
+}

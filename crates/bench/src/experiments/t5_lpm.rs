@@ -1,4 +1,4 @@
-//! T5 — SRAM-trie LPM versus CAM (claim C9, paper §8 citing NPSE [9]).
+//! T5 — SRAM-trie LPM versus CAM (claim C9, paper §8 citing NPSE \[9\]).
 //!
 //! "In comparison with CAM-based look-up methods, it relies on an
 //! SRAM-based approach that is more memory and power-efficient."

@@ -12,7 +12,7 @@ use std::process::Command;
 /// are unaffected beyond speed.)
 #[test]
 fn experiment_tables_are_scheduler_invariant() {
-    for id in ["f4", "f6", "t8", "t9", "t10"] {
+    for id in ["f4", "f6", "t8", "t9", "t10", "t11"] {
         nanowall::set_default_scheduler_mode(SchedulerMode::Dense);
         let dense = nw_bench::experiments::run_by_id(id, true).expect("registered id");
         nanowall::set_default_scheduler_mode(SchedulerMode::ActiveSet);
@@ -94,9 +94,11 @@ fn workload_experiments_are_nondegenerate() {
     assert!(t10.contains("pJ/payload"), "{t10}");
 }
 
-/// `expt list` prints every experiment id and every registered scenario.
+/// `expt list` prints every experiment id and covers every entry of the
+/// scenario registry — name *and* a non-empty one-line description — so
+/// the CLI index can never silently fall behind the catalog.
 #[test]
-fn expt_list_prints_experiments_and_scenarios() {
+fn expt_list_covers_every_experiment_and_scenario() {
     let exe = env!("CARGO_BIN_EXE_expt");
     let out = Command::new(exe).arg("list").output().expect("spawns");
     assert!(out.status.success(), "expt list must exit 0: {out:?}");
@@ -107,11 +109,44 @@ fn expt_list_prints_experiments_and_scenarios() {
             "list must name {id}: {stdout}"
         );
     }
-    for name in ["ipv4", "video", "modem", "crypto"] {
+    let reg = nanowall::ScenarioRegistry::standard();
+    assert!(
+        reg.names().contains(&"mix"),
+        "the mix family must be registered"
+    );
+    for spec in reg.specs() {
         assert!(
-            stdout.contains(name),
-            "list must name scenario {name}: {stdout}"
+            !spec.summary.trim().is_empty(),
+            "{} needs a description",
+            spec.name
         );
+        let listed = stdout.lines().any(|l| {
+            let t = l.trim_start();
+            t.starts_with(spec.name) && t.contains(spec.summary)
+        });
+        assert!(
+            listed,
+            "list must show scenario {} with its description: {stdout}",
+            spec.name
+        );
+    }
+}
+
+/// Every registered scenario simulates under both scheduler modes with
+/// bit-identical reports — the registry-wide differential check at smoke
+/// scope, so a newly registered family (like `mix`) is covered the moment
+/// it lands in the catalog.
+#[test]
+fn every_registered_scenario_runs_under_both_schedulers() {
+    for spec in nanowall::ScenarioRegistry::standard().specs() {
+        let mut dense = (spec.build)(true);
+        dense.platform.set_scheduler_mode(SchedulerMode::Dense);
+        let mut active = (spec.build)(true);
+        active.platform.set_scheduler_mode(SchedulerMode::ActiveSet);
+        let d = dense.run(10_000);
+        let a = active.run(10_000);
+        assert_eq!(d, a, "{}: schedulers diverged", spec.name);
+        assert!(d.tasks_completed > 0, "{} must do work", spec.name);
     }
 }
 

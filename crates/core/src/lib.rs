@@ -66,7 +66,7 @@ pub use config::{BuildPlatformError, FppaConfig, HwIpConfig, MemoryBlockConfig};
 pub use platform::{
     default_scheduler_mode, set_default_scheduler_mode, FppaPlatform, NodeRole, SchedulerMode,
 };
-pub use report::PlatformReport;
+pub use report::{ObjectLatency, PlatformReport};
 pub use runtime::{InstallError, ServiceBinding};
 pub use scenarios::{ScenarioRegistry, ScenarioRig, ScenarioSpec};
 

@@ -18,13 +18,14 @@ use crate::config::{BuildPlatformError, FppaConfig};
 use crate::report::PlatformReport;
 use crate::runtime::Runtime;
 use crate::tags::{is_reply, RequestTag};
+use nw_dsoc::{MessageKind, MessageView};
 use nw_fabric::Efpga;
 use nw_hwip::{HwIpBlock, IoChannel};
 use nw_mem::{MemRequest, MemoryController, MemorySpec, ReqKind};
 use nw_noc::{Noc, PayloadPool, Topology};
 use nw_pe::{Pe, PeRequest};
-use nw_sim::{Clock, Clocked};
-use nw_types::{AreaMm2, Cycles, NodeId, PeId, Picojoules};
+use nw_sim::{Clock, Clocked, LatencyHistogram};
+use nw_types::{AreaMm2, Cycles, NodeId, ObjectId, PeId, Picojoules};
 use std::cell::OnceCell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -155,6 +156,22 @@ pub struct FppaPlatform {
     /// request padding) draws from it instead of the allocator. Purely an
     /// allocation cache — contents and timing are bit-identical either way.
     pool: PayloadPool,
+    /// In-flight synchronous round trip per hardware thread
+    /// (`call_issue[pe][tid]`): the cycle the `Op::Call` issued and the
+    /// application object the latency is attributed to. Stamped in
+    /// [`FppaPlatform::collect_pe_requests`], consumed at reply delivery in
+    /// `route_arrivals` — the end-to-end (request-issue → reply-delivery)
+    /// invocation-latency probe. A blocked thread holds at most one call,
+    /// so the slot needs no queue.
+    call_issue: Vec<Vec<Option<(Cycles, ObjectId)>>>,
+    /// Per-object end-to-end latency histograms, indexed by [`ObjectId`];
+    /// sized when an application is installed.
+    object_latency: Vec<LatencyHistogram>,
+    /// Per-object deadline budgets in cycles (see
+    /// [`FppaPlatform::set_latency_deadline`]).
+    latency_deadlines: Vec<Option<u64>>,
+    /// Recorded round trips that exceeded the object's deadline budget.
+    deadline_misses: Vec<u64>,
 }
 
 impl FppaPlatform {
@@ -232,6 +249,7 @@ impl FppaPlatform {
         let n_fabrics = fabrics.len();
         let n_hwips = hwips.len();
         let n_pes = pes.len();
+        let call_issue = pes.iter().map(|p| vec![None; p.n_threads()]).collect();
         Ok(FppaPlatform {
             cfg,
             noc,
@@ -260,6 +278,10 @@ impl FppaPlatform {
             pe_active: vec![true; n_pes],
             hop_cache: OnceCell::new(),
             pool: PayloadPool::new(),
+            call_issue,
+            object_latency: Vec::new(),
+            latency_deadlines: Vec::new(),
+            deadline_misses: Vec::new(),
         })
     }
 
@@ -362,6 +384,12 @@ impl FppaPlatform {
         let now = self.clock.now();
         self.pes[i].settle_accounting(now);
         self.pe_active[i] = true;
+        // The caller may spawn programs the runtime never saw; drop the
+        // PE's thread → object attributions so a manual program's service
+        // calls cannot be charged to a stale handler's latency histogram.
+        if let Some(rt) = self.runtime.as_mut() {
+            rt.clear_thread_objects(i);
+        }
         &mut self.pes[i]
     }
 
@@ -487,7 +515,7 @@ impl FppaPlatform {
         for i in 0..self.pes.len() {
             self.pes[i].tick(now);
         }
-        self.collect_pe_requests();
+        self.collect_pe_requests(now);
 
         // 7. Flush the injection retry queue.
         self.flush_outbox(now);
@@ -537,7 +565,7 @@ impl FppaPlatform {
                 self.pe_active[p] = self.pes[p].is_live();
             }
         }
-        self.collect_pe_requests();
+        self.collect_pe_requests(now);
 
         // 7. Flush the injection retry queue.
         if !self.outbox.is_empty() {
@@ -780,6 +808,7 @@ impl FppaPlatform {
                     NodeRole::Pe(p) => {
                         if is_reply(pkt.tag) {
                             let t = RequestTag::decode(pkt.tag);
+                            self.record_reply_latency(p, t.tid, now);
                             // Data-driven wake: the completion makes a
                             // blocked thread runnable again.
                             self.pe_active[p] = true;
@@ -910,6 +939,31 @@ impl FppaPlatform {
         }
     }
 
+    /// Closes the latency probe of thread `(p, tid)` at reply delivery:
+    /// the elapsed cycles since the call issued land in the attributed
+    /// object's histogram, and the object's deadline budget (if any) is
+    /// checked. Runs identically under both schedulers — deliveries happen
+    /// in normally stepped cycles, never inside a fast-forwarded span.
+    fn record_reply_latency(&mut self, p: usize, tid: nw_types::ThreadId, now: Cycles) {
+        let Some((issued, obj)) = self
+            .call_issue
+            .get_mut(p)
+            .and_then(|slots| slots.get_mut(tid.0))
+            .and_then(Option::take)
+        else {
+            return;
+        };
+        let latency = now.saturating_sub(issued);
+        if let Some(h) = self.object_latency.get_mut(obj.0) {
+            h.record(latency);
+            if let Some(budget) = self.latency_deadlines[obj.0] {
+                if latency.0 > budget {
+                    self.deadline_misses[obj.0] += 1;
+                }
+            }
+        }
+    }
+
     fn push_service_reply(&mut self, src: NodeId, dst: NodeId, tag: u64) {
         let t = RequestTag::decode(tag);
         self.outbox.push_back(Outgoing {
@@ -930,7 +984,34 @@ impl FppaPlatform {
         self.runtime = Some(rt);
     }
 
-    fn collect_pe_requests(&mut self) {
+    /// The application object a synchronous call from thread `(p, tid)` to
+    /// `dst` is attributed to for latency telemetry:
+    ///
+    /// * a call to a **service node** (memory, fabric, hardwired IP) is a
+    ///   handler offload — attributed to the object the thread is running
+    ///   (the *bound service object* of [`FppaPlatform::bind_service`]);
+    /// * a call to a **PE** carries a marshalled DSOC invocation —
+    ///   attributed to the invoked (target) object from the wire header,
+    ///   so twoway round trips land on the service object that answers
+    ///   them, wherever the caller runs.
+    ///
+    /// `None` (manually spawned programs, no installed application, or an
+    /// undecodable payload) records nothing.
+    fn call_attribution(&self, p: usize, tid: usize, dst: NodeId, data: &[u8]) -> Option<ObjectId> {
+        match self.roles.get(dst.0)? {
+            NodeRole::Memory(_) | NodeRole::Fabric(_) | NodeRole::HwIp(_) => self
+                .runtime
+                .as_ref()
+                .and_then(|rt| rt.thread_object(p, tid)),
+            NodeRole::Pe(_) => MessageView::decode(data)
+                .ok()
+                .filter(|m| m.kind == MessageKind::Invocation)
+                .map(|m| m.object),
+            NodeRole::Io(_) => None,
+        }
+    }
+
+    fn collect_pe_requests(&mut self, now: Cycles) {
         for p in 0..self.pes.len() {
             if !self.pes[p].has_requests() {
                 continue;
@@ -959,6 +1040,14 @@ impl FppaPlatform {
                         reply_bytes,
                         mut data,
                     } => {
+                        // Open the latency probe: the round trip ends when
+                        // the reply packet is delivered back to this thread.
+                        if let Some(obj) = self
+                            .call_attribution(p, tid.0, dst, &data)
+                            .filter(|o| o.0 < self.object_latency.len())
+                        {
+                            self.call_issue[p][tid.0] = Some((now, obj));
+                        }
                         self.pool.pad_zeroed(&mut data, bytes as usize);
                         let tag = RequestTag {
                             pe: PeId(p),
@@ -998,6 +1087,64 @@ impl FppaPlatform {
             }
         }
         self.outbox = remaining;
+    }
+
+    /// Resizes and clears the latency telemetry for a freshly installed
+    /// application of `n_objects` objects.
+    pub(crate) fn reset_latency_telemetry(&mut self, n_objects: usize) {
+        self.object_latency = vec![LatencyHistogram::new(); n_objects];
+        self.latency_deadlines = vec![None; n_objects];
+        self.deadline_misses = vec![0; n_objects];
+        for slots in &mut self.call_issue {
+            slots.fill(None);
+        }
+    }
+
+    /// Sets a per-object deadline budget: every recorded end-to-end round
+    /// trip attributed to `object` that exceeds `cycles` counts as a
+    /// deadline miss in [`PlatformReport::latency`] (the budget is checked
+    /// at reply delivery; already-recorded samples are not re-judged).
+    ///
+    /// [`PlatformReport::latency`]: crate::report::PlatformReport::latency
+    ///
+    /// # Errors
+    ///
+    /// [`crate::runtime::InstallError::NoApp`] without an installed
+    /// application; [`crate::runtime::InstallError::UnknownObject`] when
+    /// `object` is not part of it.
+    pub fn set_latency_deadline(
+        &mut self,
+        object: ObjectId,
+        cycles: u64,
+    ) -> Result<(), crate::runtime::InstallError> {
+        if self.runtime.is_none() {
+            return Err(crate::runtime::InstallError::NoApp);
+        }
+        let Some(slot) = self.latency_deadlines.get_mut(object.0) else {
+            return Err(crate::runtime::InstallError::UnknownObject(object));
+        };
+        *slot = Some(cycles);
+        Ok(())
+    }
+
+    /// The end-to-end latency histogram of `object` (empty until its first
+    /// recorded round trip; `None` when no application is installed or the
+    /// id is out of range). Aggregate across objects with
+    /// [`LatencyHistogram::merge`].
+    pub fn object_latency(&self, object: ObjectId) -> Option<&LatencyHistogram> {
+        self.object_latency.get(object.0)
+    }
+
+    pub(crate) fn object_latency_slice(&self) -> &[LatencyHistogram] {
+        &self.object_latency
+    }
+
+    pub(crate) fn latency_deadlines_slice(&self) -> &[Option<u64>] {
+        &self.latency_deadlines
+    }
+
+    pub(crate) fn deadline_misses_slice(&self) -> &[u64] {
+        &self.deadline_misses
     }
 
     /// Builds the report for the last `elapsed` cycles of activity.

@@ -4,6 +4,47 @@ use crate::platform::FppaPlatform;
 use nw_noc::NocStats;
 use nw_types::{Cycles, Picojoules};
 
+/// End-to-end invocation-latency summary of one application object.
+///
+/// Samples are synchronous round trips measured request-issue →
+/// reply-delivery and attributed to the object: the service-node offload
+/// calls its handler performs (see [`FppaPlatform::bind_service`]) and the
+/// twoway invocations it answers. Percentiles come from the object's
+/// fixed-bucket log-scale [`nw_sim::LatencyHistogram`] (≤ 6.25% above the
+/// true order statistic); `max` and `mean` are exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectLatency {
+    /// Round trips recorded.
+    pub count: u64,
+    /// Median end-to-end latency.
+    pub p50: Cycles,
+    /// 95th-percentile latency.
+    pub p95: Cycles,
+    /// 99th-percentile latency.
+    pub p99: Cycles,
+    /// Worst observed latency (exact).
+    pub max: Cycles,
+    /// Mean latency in cycles (exact).
+    pub mean: f64,
+    /// The object's deadline budget, if one was set
+    /// ([`FppaPlatform::set_latency_deadline`]).
+    pub deadline: Option<u64>,
+    /// Recorded round trips that exceeded the deadline budget.
+    pub deadline_misses: u64,
+}
+
+impl ObjectLatency {
+    /// Fraction of recorded round trips that missed the deadline
+    /// (0.0 without samples or without a deadline).
+    pub fn miss_rate(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.count as f64
+        }
+    }
+}
+
 /// Per-I/O-channel figures.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IoReport {
@@ -45,6 +86,10 @@ pub struct PlatformReport {
     /// application is installed) — the per-stage throughput input for the
     /// workload rigs.
     pub object_invocations: Vec<u64>,
+    /// Per-object end-to-end latency summaries, indexed by object id
+    /// (empty when no application is installed). Zero-count entries mean
+    /// the object recorded no synchronous round trips in the window.
+    pub latency: Vec<ObjectLatency>,
     /// Memory accesses served across all controllers.
     pub mem_accesses: u64,
     /// Items served by eFPGA fabrics.
@@ -86,6 +131,22 @@ impl PlatformReport {
             object_invocations: p
                 .runtime()
                 .map_or_else(Vec::new, |r| r.object_dispatches().to_vec()),
+            latency: p
+                .object_latency_slice()
+                .iter()
+                .zip(p.latency_deadlines_slice())
+                .zip(p.deadline_misses_slice())
+                .map(|((h, &deadline), &deadline_misses)| ObjectLatency {
+                    count: h.count(),
+                    p50: h.p50(),
+                    p95: h.p95(),
+                    p99: h.p99(),
+                    max: h.max().unwrap_or(Cycles::ZERO),
+                    mean: h.mean(),
+                    deadline,
+                    deadline_misses,
+                })
+                .collect(),
             mem_accesses: p.mems_slice().iter().map(|m| m.served()).sum(),
             fabric_served: p.fabrics_slice().iter().map(|f| f.served()).sum(),
             hwip_served: p.hwips_slice().iter().map(|h| h.served()).sum(),
@@ -141,6 +202,12 @@ impl PlatformReport {
     /// Invocation rate of one application object in items per second.
     pub fn object_rate_per_sec(&self, object: usize) -> f64 {
         self.object_rate(object) * self.clock_hz
+    }
+
+    /// The latency summary of one application object, or `None` when no
+    /// application is installed or the id is out of range.
+    pub fn object_latency(&self, object: usize) -> Option<&ObjectLatency> {
+        self.latency.get(object)
     }
 
     /// Total dynamic energy per item transmitted on channel `io` — the

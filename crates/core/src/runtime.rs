@@ -94,6 +94,12 @@ pub struct ServiceBinding {
 struct PendingInvocation {
     object: ObjectId,
     method: MethodId,
+    /// The invocation tag: the wire sequence number of the arriving request
+    /// (0 for drive/saturation-originated invocations, which have no
+    /// caller). Synthesized replies echo it, so a reply correlates with its
+    /// request on the wire — the tag threads request → dispatch queue →
+    /// handler → reply.
+    seq: u32,
     /// Reply destination and request tag for twoway invocations.
     reply_to: Option<(NodeId, u64)>,
 }
@@ -178,6 +184,12 @@ pub struct Runtime {
     pub dispatched: u64,
     /// Invocations dispatched per object (per-stage throughput input).
     dispatched_per_object: Vec<u64>,
+    /// `thread_object[pe][tid]`: the object whose handler was last spawned
+    /// on that hardware thread. Consulted by the platform's latency probe
+    /// to attribute service-node offload calls to the issuing object; only
+    /// read while the handler runs (a thread's in-flight call pins its
+    /// program), so stale entries after retirement are harmless.
+    thread_object: Vec<Vec<Option<ObjectId>>>,
 }
 
 impl Runtime {
@@ -222,6 +234,7 @@ impl Runtime {
             decode_errors: 0,
             dispatched: 0,
             dispatched_per_object: vec![0; n_objects],
+            thread_object: vec![Vec::new(); n_pes],
         })
     }
 
@@ -386,6 +399,7 @@ impl Runtime {
         self.dispatch[p].push_back(PendingInvocation {
             object: msg.object,
             method: msg.method,
+            seq: msg.seq,
             reply_to,
         });
         self.pending_total += 1;
@@ -402,6 +416,7 @@ impl Runtime {
                 self.dispatch[pe].push_back(PendingInvocation {
                     object,
                     method,
+                    seq: 0,
                     reply_to: None,
                 });
                 self.pending_total += 1;
@@ -449,7 +464,8 @@ impl Runtime {
                     };
                     self.pending_total -= 1;
                     let prog = self.synthesize(&inv, pool);
-                    pe.spawn(prog).expect("idle thread count was checked");
+                    let tid = pe.spawn(prog).expect("idle thread count was checked");
+                    self.note_spawn(p, tid, inv.object);
                     woken[p] = true;
                     self.dispatched += 1;
                     self.dispatched_per_object[inv.object.0] += 1;
@@ -470,14 +486,50 @@ impl Runtime {
                     &PendingInvocation {
                         object,
                         method,
+                        seq: 0,
                         reply_to: None,
                     },
                     pool,
                 );
-                pes[pe].spawn(prog).expect("idle thread count was checked");
+                let tid = pes[pe].spawn(prog).expect("idle thread count was checked");
+                self.note_spawn(pe, tid, object);
                 self.dispatched += 1;
                 self.dispatched_per_object[object.0] += 1;
             }
+        }
+    }
+
+    /// Records which object's handler occupies hardware thread `(pe, tid)`
+    /// for the platform's latency attribution.
+    fn note_spawn(&mut self, pe: usize, tid: nw_types::ThreadId, object: ObjectId) {
+        let slots = &mut self.thread_object[pe];
+        if slots.len() <= tid.0 {
+            slots.resize(tid.0 + 1, None);
+        }
+        slots[tid.0] = Some(object);
+    }
+
+    /// The object whose handler was last spawned on thread `(pe, tid)`, if
+    /// any — the attribution source for service-offload latency samples.
+    pub(crate) fn thread_object(&self, pe: usize, tid: usize) -> Option<ObjectId> {
+        self.thread_object
+            .get(pe)
+            .and_then(|slots| slots.get(tid))
+            .copied()
+            .flatten()
+    }
+
+    /// Forgets every thread → object attribution on PE `pe`. Called when
+    /// the platform hands out mutable PE access (`FppaPlatform::pe_mut`):
+    /// the caller may spawn programs the runtime knows nothing about, and a
+    /// stale entry would attribute such a program's service calls to
+    /// whichever handler last ran on the thread. Dropping the whole PE's
+    /// attributions errs on the side of recording nothing — in-flight
+    /// probes already resolved their object at issue time, and handlers
+    /// dispatched afterwards re-record on spawn.
+    pub(crate) fn clear_thread_objects(&mut self, pe: usize) {
+        if let Some(slots) = self.thread_object.get_mut(pe) {
+            slots.fill(None);
         }
     }
 
@@ -599,15 +651,17 @@ impl Runtime {
                 }
             }
         }
-        // Twoway: answer the caller with the echoed request tag.
+        // Twoway: answer the caller with the echoed request tag. The reply
+        // also echoes the request's sequence number (the invocation tag),
+        // so the round trip is correlated end-to-end on the wire — same
+        // marshalled size either way, so timing is unchanged.
         if let Some((reply_to, tag)) = inv.reply_to {
-            let seq = self.next_seq();
             let mut data = pool.take();
             Message::encode_zeroed_into(
                 MessageKind::Reply,
                 inv.object,
                 inv.method,
-                seq,
+                inv.seq,
                 plan.reply_body_bytes as usize,
                 &mut data,
             );
@@ -673,6 +727,7 @@ impl FppaPlatform {
             self.ios_slice().len(),
         )?;
         self.runtime = Some(rt);
+        self.reset_latency_telemetry(app.objects().len());
         Ok(())
     }
 
@@ -780,6 +835,30 @@ impl FppaPlatform {
             )
     }
 
+    /// [`FppaPlatform::bind_service`] plus a per-object deadline budget:
+    /// every end-to-end round trip attributed to `object` — its service
+    /// offload calls here, and any twoway invocations it answers — that
+    /// exceeds `deadline_cycles` counts as a deadline miss in
+    /// [`PlatformReport::latency`].
+    ///
+    /// [`PlatformReport::latency`]: crate::report::PlatformReport::latency
+    ///
+    /// # Errors
+    ///
+    /// See [`FppaPlatform::bind_service`].
+    pub fn bind_service_with_deadline(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        request_bytes: u64,
+        reply_bytes: u64,
+        calls: u32,
+        deadline_cycles: u64,
+    ) -> Result<(), InstallError> {
+        self.bind_service(object, node, request_bytes, reply_bytes, calls)?;
+        self.set_latency_deadline(object, deadline_cycles)
+    }
+
     /// The installed runtime, if any.
     pub fn runtime(&self) -> Option<&Runtime> {
         self.runtime.as_ref()
@@ -866,6 +945,7 @@ mod tests {
         let inv = PendingInvocation {
             object: ObjectId(0),
             method: MethodId(0),
+            seq: 0,
             reply_to: None,
         };
         let mut pool = PayloadPool::new();
@@ -891,6 +971,21 @@ mod tests {
         let mut cold = runtime();
         let cold_first = cold.synthesize(&inv, &mut PayloadPool::new());
         assert_eq!(first, cold_first);
+    }
+
+    #[test]
+    fn thread_attribution_records_and_clears() {
+        let mut rt = runtime();
+        assert_eq!(rt.thread_object(0, 1), None);
+        rt.note_spawn(0, nw_types::ThreadId(1), ObjectId(0));
+        assert_eq!(rt.thread_object(0, 1), Some(ObjectId(0)));
+        // Manual PE access (FppaPlatform::pe_mut) must forget the PE's
+        // attributions so foreign programs never inherit them.
+        rt.clear_thread_objects(0);
+        assert_eq!(rt.thread_object(0, 1), None);
+        // Out-of-range lookups and clears are harmless no-ops.
+        assert_eq!(rt.thread_object(9, 9), None);
+        rt.clear_thread_objects(9);
     }
 
     #[test]
@@ -932,6 +1027,7 @@ mod tests {
             &PendingInvocation {
                 object: ObjectId(0),
                 method: MethodId(0),
+                seq: 0,
                 reply_to: None,
             },
             &mut PayloadPool::new(),

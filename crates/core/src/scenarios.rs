@@ -11,6 +11,9 @@
 //!   the §7.1 application workloads from `nw-apps` (frame-sliced video
 //!   codec, modem baseband chain, crypto offload), auto-placed by the
 //!   MultiFlex greedy mapper.
+//! * [`mix_rig`] — the T11 rig: the video codec and an IPv4 fast path
+//!   installed together on one shared fabric, with per-workload latency
+//!   telemetry and a route-lookup deadline budget.
 //! * [`fppa_tour_config`] — the F2 rig: a Figure 2 platform with one of
 //!   every component class.
 //!
@@ -21,8 +24,8 @@ use crate::config::{FppaConfig, HwIpConfig, MemoryBlockConfig};
 use crate::platform::FppaPlatform;
 use crate::report::PlatformReport;
 use nw_apps::{
-    crypto_pipeline, modem_pipeline, video_pipeline, CryptoParams, ModemParams, PipelineLayout,
-    ServiceKind, VideoParams,
+    crypto_pipeline, modem_pipeline, video_ipv4_mix, video_pipeline, CryptoParams, MixParams,
+    ModemParams, PipelineLayout, ServiceKind, VideoParams,
 };
 use nw_dsoc::Application;
 use nw_fabric::FabricSpec;
@@ -486,11 +489,34 @@ pub fn modem_rig(
             .bind_egress(layout.objects[chain.mac_out], 0, params.burst_bytes / 2)
             .expect("io 0 exists");
     }
+    // The air-interface deadline budget on the shared channel estimator:
+    // every demodulator query must return within a fixed multiple of the
+    // unloaded NoC round trip (per-hop wire time scales with the link
+    // latency; the constant covers serialization, the estimator's compute
+    // and a bounded queueing allowance). Round trips beyond the budget
+    // count as deadline misses in `PlatformReport::latency` — the "does
+    // the modem meet its deadline" observable of experiments T9/T11.
+    platform
+        .set_latency_deadline(
+            layout.objects[workload.channel_est],
+            modem_est_deadline(link_latency),
+        )
+        .expect("estimator object is installed");
     ScenarioRig {
         platform,
         app,
         placement,
     }
+}
+
+/// The channel-estimate deadline budget of [`modem_rig`] for a given
+/// per-hop link latency (see the comment at its use site). The unloaded
+/// round trip on this rig measures ≈ 80 + 2·link cycles (two NoC
+/// traversals plus the estimator's 90-cycle handler at DSP speedup), so
+/// the budget allows roughly 1.5× that: met comfortably at nominal load,
+/// blown when dispatcher queueing stretches the reply path.
+pub fn modem_est_deadline(link_latency: u64) -> u64 {
+    130 + 2 * link_latency
 }
 
 /// Builds the T10 rig: the crypto offload pipeline on `n_pes` PEs with a
@@ -567,6 +593,166 @@ pub fn crypto_rig(
     }
 }
 
+/// Builds the T11 rig: the video + IPv4 *mix* — both workloads installed
+/// as one application on a shared pool of `n_pes` multithreaded PEs, placed
+/// together by the greedy MultiFlex mapper so they compete for the same
+/// fabric. Video slices arrive at `video_gbps` on I/O channel 0 (packed
+/// bitstream bound back to it); minimum-size IPv4 packets arrive at
+/// `ipv4_gbps` on channel 1 (rewritten packets bound back to it). The
+/// motion estimators share the frame-store macro; the packet chains share
+/// the twoway route-lookup object, which carries a deadline budget
+/// ([`mix_lookup_deadline`]) so interference from the video half shows up
+/// as measured deadline misses, not just throughput loss.
+///
+/// # Panics
+///
+/// Panics on internal construction failure (fixed valid configs),
+/// `params.video.lanes == 0` or `params.ipv4_workers == 0`.
+pub fn mix_rig(
+    params: &MixParams,
+    n_pes: usize,
+    threads: usize,
+    link_latency: u64,
+    video_gbps: f64,
+    ipv4_gbps: f64,
+) -> ScenarioRig {
+    mix_rig_detailed(params, n_pes, threads, link_latency, video_gbps, ipv4_gbps).rig
+}
+
+/// A mix rig together with its workload directory: the stage graph the
+/// platform was built from and the stage → object mapping, so callers
+/// (experiment T11) can aggregate per-workload latency without rebuilding
+/// the workload or assuming stage indices equal object ids.
+#[derive(Debug)]
+pub struct MixRig {
+    /// The assembled rig (registry-compatible).
+    pub rig: ScenarioRig,
+    /// The combined workload with its per-workload stage directories.
+    pub workload: nw_apps::MixWorkload,
+    /// `objects[stage index]` → installed [`ObjectId`] (the lowering's
+    /// [`PipelineLayout::objects`]).
+    pub objects: Vec<ObjectId>,
+}
+
+/// [`mix_rig`] returning the full [`MixRig`] directory.
+///
+/// # Panics
+///
+/// See [`mix_rig`].
+pub fn mix_rig_detailed(
+    params: &MixParams,
+    n_pes: usize,
+    threads: usize,
+    link_latency: u64,
+    video_gbps: f64,
+    ipv4_gbps: f64,
+) -> MixRig {
+    let workload = video_ipv4_mix(params);
+    let (app, layout) = workload
+        .spec
+        .to_application()
+        .expect("mix lowers to a valid application");
+
+    let mut cfg = FppaConfig::new("mix-video-ipv4", TopologyKind::Mesh);
+    cfg.link_latency = Some(link_latency);
+    for _ in 0..n_pes {
+        cfg.add_pe(PeConfig::new(PeClass::GpRisc, threads));
+    }
+    // The video half's shared reference-frame store.
+    cfg.add_memory(MemoryBlockConfig::new(MemoryTechnology::Edram, 64.0));
+    // Channel 0: video slices. Channel 1: worst-case minimum-size packets.
+    let mut video_io = IoChannelConfig::ten_gbe_worst_case();
+    video_io.rate = nw_types::BitsPerSec::from_gbps(video_gbps);
+    video_io.packet_bytes = nw_types::Bytes(params.video.slice_bytes);
+    video_io.clock_hz = cfg.tech.nominal_clock_hz();
+    cfg.add_io(video_io);
+    let mut ip_io = IoChannelConfig::ten_gbe_worst_case();
+    ip_io.rate = nw_types::BitsPerSec::from_gbps(ipv4_gbps);
+    ip_io.packet_bytes = nw_types::Bytes(params.packet_bytes);
+    ip_io.clock_hz = cfg.tech.nominal_clock_hz();
+    cfg.add_io(ip_io);
+    let slices_per_cycle = video_io.packets_per_cycle();
+    let packets_per_cycle = ip_io.packets_per_cycle();
+
+    let mut platform = FppaPlatform::new(cfg).expect("valid fixed config");
+    // Entry rates in `spec.entries` order: the absorbed video lanes first,
+    // then one classifier per packet chain.
+    let mut entry_rates = vec![slices_per_cycle / params.video.lanes as f64; params.video.lanes];
+    entry_rates.extend(vec![
+        packets_per_cycle / params.ipv4_workers as f64;
+        params.ipv4_workers
+    ]);
+    let placement = auto_place(&platform, &app, n_pes, &entry_rates);
+    platform
+        .install_app(&app, &placement)
+        .expect("placement built to match");
+    for lane in &workload.video_lanes {
+        platform
+            .bind_io_entry(0, layout.objects[lane.ingest])
+            .expect("io 0 exists");
+        platform
+            .bind_egress(layout.objects[lane.pack], 0, params.video.slice_bytes / 2)
+            .expect("io 0 exists");
+    }
+    for chain in &workload.ipv4_chains {
+        platform
+            .bind_io_entry(1, layout.objects[chain.classify])
+            .expect("io 1 exists");
+        platform
+            .bind_egress(layout.objects[chain.emit], 1, params.packet_bytes)
+            .expect("io 1 exists");
+    }
+    bind_layout_services(&mut platform, &layout);
+    platform
+        .set_latency_deadline(
+            layout.objects[workload.route_lookup],
+            mix_lookup_deadline(link_latency),
+        )
+        .expect("lookup object is installed");
+    MixRig {
+        rig: ScenarioRig {
+            platform,
+            app,
+            placement,
+        },
+        workload,
+        objects: layout.objects,
+    }
+}
+
+/// The standard PE-pool size for a mix rig: two PEs per video lane (the
+/// five-stage lane plus its share of rate control), one per packet chain,
+/// and one spare — the sizing every mix consumer (the scenario registry,
+/// experiment T11, the bench row) shares so they simulate the same
+/// platform shape.
+pub fn mix_pe_pool(params: &MixParams) -> usize {
+    2 * params.video.lanes + params.ipv4_workers + 1
+}
+
+/// The demo-sized [`MixParams`] shared by the scenario registry, the T11
+/// experiment and the bench row: 4 video lanes × 4 packet chains at full
+/// size, halved under `fast`.
+pub fn mix_demo_params(fast: bool) -> MixParams {
+    MixParams {
+        video: VideoParams {
+            lanes: if fast { 2 } else { 4 },
+            ..VideoParams::default()
+        },
+        ipv4_workers: if fast { 2 } else { 4 },
+        ..MixParams::default()
+    }
+}
+
+/// The route-lookup deadline budget of [`mix_rig`]: the classifier's
+/// per-packet lookup round trip must fit roughly 3× the unloaded round
+/// trip (≈ 107 cycles at 4-cycle links, scaling with the per-hop link
+/// latency) — the packet workload's line-rate processing window,
+/// independent of offered load. Queueing inflicted by a saturated video
+/// half pushes the lookup tail past this budget.
+pub fn mix_lookup_deadline(link_latency: u64) -> u64 {
+    240 + 16 * link_latency
+}
+
 /// One registry entry: a named rig with a one-line summary and a builder.
 #[derive(Debug, Clone, Copy)]
 pub struct ScenarioSpec {
@@ -581,8 +767,9 @@ pub struct ScenarioSpec {
 /// The name → rig-builder catalog of the paper's scenarios.
 ///
 /// [`ScenarioRegistry::standard`] registers the four application rigs
-/// (IPv4 fast path, video codec, modem baseband, crypto offload); external
-/// callers can [`register`](ScenarioRegistry::register) more.
+/// (IPv4 fast path, video codec, modem baseband, crypto offload) plus the
+/// `mix` interference rig (video + IPv4 on one fabric); external callers
+/// can [`register`](ScenarioRegistry::register) more.
 ///
 /// # Examples
 ///
@@ -650,6 +837,15 @@ impl ScenarioRegistry {
                 let params = CryptoParams::default();
                 let gbps = if fast { 2.0 } else { 4.0 };
                 crypto_rig(&params, 4, 8, 4, gbps)
+            },
+        });
+        reg.register(ScenarioSpec {
+            name: "mix",
+            summary: "interference mix: video codec + IPv4 fast path sharing one fabric (T11)",
+            build: |fast| {
+                let params = mix_demo_params(fast);
+                let (video_gbps, ipv4_gbps) = if fast { (2.0, 1.0) } else { (4.0, 2.0) };
+                mix_rig(&params, mix_pe_pool(&params), 4, 4, video_gbps, ipv4_gbps)
             },
         });
         reg
@@ -816,7 +1012,7 @@ mod tests {
     #[test]
     fn registry_builds_every_standard_rig() {
         let reg = ScenarioRegistry::standard();
-        assert_eq!(reg.names(), vec!["ipv4", "video", "modem", "crypto"]);
+        assert_eq!(reg.names(), vec!["ipv4", "video", "modem", "crypto", "mix"]);
         for spec in reg.specs() {
             let mut rig = (spec.build)(true);
             assert_eq!(
@@ -830,6 +1026,80 @@ mod tests {
             assert!(report.energy.0 > 0.0, "{} must burn energy", spec.name);
         }
         assert!(reg.build("nope", true).is_none());
+    }
+
+    #[test]
+    fn latency_telemetry_records_service_and_twoway_round_trips() {
+        // Service offloads: the crypto cipher stages call the AES engine;
+        // their histograms must fill and stay ordered.
+        let mut rig = crypto_rig(&CryptoParams::default(), 4, 8, 2, 2.0);
+        let report = rig.run(40_000);
+        let cipher = rig.stage_named("cipher-0").unwrap();
+        let lat = report.object_latency(cipher.0).expect("app installed");
+        assert!(lat.count > 0, "cipher offloads must record: {lat:?}");
+        assert!(lat.p50 <= lat.p95 && lat.p95 <= lat.p99, "{lat:?}");
+        assert!(lat.p99 <= lat.max, "{lat:?}");
+        assert!(lat.mean > 0.0, "{lat:?}");
+        assert!(lat.deadline.is_none(), "crypto sets no budget");
+
+        // Twoway invocations: the modem's channel estimator answers the
+        // demodulators; its round trips carry the rig's deadline budget.
+        let mut rig = modem_rig(&ModemParams::default(), 6, 4, 2, 400.0);
+        let est = rig.stage_named("channel-est").unwrap();
+        let report = rig.run(40_000);
+        let lat = report.object_latency(est.0).expect("app installed");
+        assert!(lat.count > 0, "estimate queries must record: {lat:?}");
+        assert_eq!(lat.deadline, Some(modem_est_deadline(2)), "{lat:?}");
+        assert!(lat.miss_rate() < 0.05, "nominal load meets the budget");
+        // The full histogram is reachable for cross-object aggregation.
+        let hist = rig.platform.object_latency(est).expect("tracked");
+        assert_eq!(hist.count(), lat.count);
+    }
+
+    #[test]
+    fn set_latency_deadline_validates_its_object() {
+        let mut rig = crypto_rig(&CryptoParams::default(), 4, 8, 2, 2.0);
+        let n = rig.app.objects().len();
+        let err = rig
+            .platform
+            .set_latency_deadline(ObjectId(n + 5), 100)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::runtime::InstallError::UnknownObject(ObjectId(n + 5))
+        );
+        assert!(rig.platform.set_latency_deadline(ObjectId(0), 100).is_ok());
+    }
+
+    #[test]
+    fn mix_rig_places_both_workloads_and_tracks_their_latency() {
+        let params = MixParams {
+            video: VideoParams {
+                lanes: 2,
+                ..VideoParams::default()
+            },
+            ipv4_workers: 2,
+            ..MixParams::default()
+        };
+        let mut rig = mix_rig(&params, mix_pe_pool(&params), 4, 4, 2.0, 1.0);
+        let report = rig.run(40_000);
+        // Both lines deliver through their own channels.
+        assert!(
+            report.io[0].transmitted > 0,
+            "video egress: {:?}",
+            report.io
+        );
+        assert!(report.io[1].transmitted > 0, "ipv4 egress: {:?}", report.io);
+        // Per-workload latency: the shared route lookup and a video
+        // motion estimator both record round trips.
+        let lookup = rig.stage_named("route-lookup").unwrap();
+        let me = rig.stage_named("motion-est-0").unwrap();
+        assert!(report.object_latency(lookup.0).unwrap().count > 0);
+        assert!(report.object_latency(me.0).unwrap().count > 0);
+        assert_eq!(
+            report.object_latency(lookup.0).unwrap().deadline,
+            Some(mix_lookup_deadline(4))
+        );
     }
 
     #[test]

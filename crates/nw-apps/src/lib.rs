@@ -14,6 +14,10 @@
 //!   burst critical path).
 //! * [`crypto`] — the crypto offload rig: hwip-bound bulk transfer (block
 //!   streaming through shared AES/hash engines behind the NoC).
+//! * [`mix`] — mixed-workload scenarios: independent workloads absorbed
+//!   into one application graph ([`PipelineSpec::absorb`]) so they share a
+//!   fabric and interfere only through platform resources — the video +
+//!   IPv4 interference family of experiment T11.
 //!
 //! [`stage`] holds the model ([`PipelineSpec`] lowering onto
 //! [`nw_dsoc::Application`]); [`traffic`] generates deterministic,
@@ -23,12 +27,14 @@
 //! `nw-ipv4`).
 
 pub mod crypto;
+pub mod mix;
 pub mod modem;
 pub mod stage;
 pub mod traffic;
 pub mod video;
 
 pub use crypto::{crypto_pipeline, CryptoChannel, CryptoParams, CryptoWorkload};
+pub use mix::{video_ipv4_mix, MixPacketChain, MixParams, MixWorkload};
 pub use modem::{modem_pipeline, ModemChain, ModemParams, ModemWorkload};
 pub use stage::{
     BuildPipelineError, PipelineLayout, PipelineSpec, ServiceDemand, ServiceKind, StageDef,

@@ -1,0 +1,213 @@
+//! Mixed-workload scenarios: independent applications on one fabric.
+//!
+//! The paper's platform claim is not that one application runs well on the
+//! FPPA — it is that *heterogeneous* applications (packet forwarding next
+//! to media next to baseband) share a single fabric under quantified
+//! latency budgets. This module builds those mixes as one combined
+//! [`PipelineSpec`]: the component workloads keep their own stage graphs
+//! (joined with [`PipelineSpec::absorb`], so no links cross between them)
+//! and interfere only through the platform — shared PEs chosen by the
+//! mapper, the shared NoC, and shared service nodes.
+//!
+//! [`video_ipv4_mix`] is the first family member: the frame-sliced video
+//! codec of [`crate::video`] beside an IPv4 fast path expressed as a stage
+//! graph (classify → shared route-lookup (twoway) → rewrite → emit, the
+//! same shape and compute weights as `nw_ipv4::app::fast_path_app`). The
+//! interference observable is the end-to-end latency distribution per
+//! workload: the video lanes hammer the frame store and the NoC with large
+//! slices while the packet chains need short lookup round trips — the
+//! T11 experiment sweeps both offered loads and watches each workload's
+//! p99 and deadline misses.
+
+use crate::stage::{PipelineSpec, StageDef};
+use crate::video::{video_pipeline, VideoLane, VideoParams};
+use nw_dsoc::Domain;
+use nw_ipv4::app::FastPathWeights;
+
+/// Tunable parameters of the video + IPv4 mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixParams {
+    /// The video-codec half (lanes, slice size, motion-estimation cost).
+    pub video: VideoParams,
+    /// Parallel packet-worker chains on the IPv4 half.
+    pub ipv4_workers: usize,
+    /// Wire bytes per IPv4 packet (worst-case minimum-size packets).
+    pub packet_bytes: u64,
+}
+
+impl Default for MixParams {
+    fn default() -> Self {
+        MixParams {
+            video: VideoParams::default(),
+            ipv4_workers: 4,
+            // The worst-case minimum IPv4 packet, matching the T3 rig.
+            packet_bytes: 40,
+        }
+    }
+}
+
+/// Stage indices of one IPv4 worker chain within the mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixPacketChain {
+    /// Packet classification (entry stage).
+    pub classify: usize,
+    /// TTL/checksum rewrite.
+    pub rewrite: usize,
+    /// Egress emission.
+    pub emit: usize,
+}
+
+/// The built mix: one combined stage graph plus per-workload directories.
+#[derive(Debug, Clone)]
+pub struct MixWorkload {
+    /// The combined stage graph (video stages first, then IPv4).
+    pub spec: PipelineSpec,
+    /// Per-lane stage indices of the video half (valid in `spec`).
+    pub video_lanes: Vec<VideoLane>,
+    /// The video half's shared rate-control stage index.
+    pub rate_control: usize,
+    /// Every stage index belonging to the video workload.
+    pub video_stages: Vec<usize>,
+    /// Per-chain stage indices of the IPv4 half.
+    pub ipv4_chains: Vec<MixPacketChain>,
+    /// The shared route-lookup stage index (twoway, one per mix).
+    pub route_lookup: usize,
+    /// Every stage index belonging to the IPv4 workload.
+    pub ipv4_stages: Vec<usize>,
+}
+
+/// Builds the video + IPv4 mix: `params.video.lanes` codec lanes and
+/// `params.ipv4_workers` packet chains sharing one route-lookup object,
+/// absorbed into a single application graph with two entry families.
+///
+/// # Panics
+///
+/// Panics if `params.video.lanes == 0` or `params.ipv4_workers == 0`.
+pub fn video_ipv4_mix(params: &MixParams) -> MixWorkload {
+    assert!(
+        params.ipv4_workers > 0,
+        "mix needs at least one IPv4 worker chain"
+    );
+    let video = video_pipeline(&params.video);
+    let mut spec = PipelineSpec::new("mix-video-ipv4");
+    let voffset = spec.absorb(&video.spec);
+    debug_assert_eq!(voffset, 0, "video absorbs into an empty spec");
+    let video_stages: Vec<usize> = (0..video.spec.n_stages()).collect();
+
+    // The IPv4 fast path as a stage graph, mirroring
+    // `nw_ipv4::app::fast_path_app`: a shared twoway route-lookup object
+    // (the classifier blocks on it per packet — the latency-critical round
+    // trip of this workload) and oneway classify → rewrite → emit chains.
+    // The per-stage compute costs are the T3 workload's own
+    // `FastPathWeights`, so the mix's packet half stays in sync with the
+    // standalone ipv4 rig it restates.
+    let weights = FastPathWeights::default();
+    let mut ipv4_stages = Vec::new();
+    let route_lookup = spec.add_stage(
+        StageDef::new("route-lookup", 8)
+            .with_reply(8)
+            .with_compute(weights.lookup_cycles)
+            .with_working_set(32)
+            .with_state(2 * 1024 * 1024)
+            .with_domain(Domain::PacketHeader),
+    );
+    ipv4_stages.push(route_lookup);
+    let mut ipv4_chains = Vec::with_capacity(params.ipv4_workers);
+    for w in 0..params.ipv4_workers {
+        let classify = spec.add_stage(
+            StageDef::new(&format!("ip-classify-{w}"), 44)
+                .with_compute(weights.classify_cycles)
+                .with_working_set(40)
+                .with_state(4 * 1024)
+                .with_domain(Domain::PacketHeader),
+        );
+        let rewrite = spec.add_stage(
+            StageDef::new(&format!("ip-rewrite-{w}"), 44)
+                .with_compute(weights.rewrite_cycles)
+                .with_working_set(40)
+                .with_state(4 * 1024)
+                .with_domain(Domain::PacketHeader),
+        );
+        let emit = spec.add_stage(
+            StageDef::new(&format!("ip-emit-{w}"), params.packet_bytes)
+                .with_compute(weights.emit_cycles)
+                .with_working_set(16)
+                .with_state(2 * 1024)
+                .with_domain(Domain::PacketHeader),
+        );
+        spec.link(classify, route_lookup, 1.0)
+            .link(classify, rewrite, 1.0)
+            .link(rewrite, emit, 1.0)
+            .entry(classify);
+        ipv4_stages.extend([classify, rewrite, emit]);
+        ipv4_chains.push(MixPacketChain {
+            classify,
+            rewrite,
+            emit,
+        });
+    }
+
+    MixWorkload {
+        spec,
+        video_lanes: video.lanes,
+        rate_control: video.rate_control,
+        video_stages,
+        ipv4_chains,
+        route_lookup,
+        ipv4_stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_combines_both_graphs_disjointly() {
+        let params = MixParams::default();
+        let m = video_ipv4_mix(&params);
+        let video_n = 1 + params.video.lanes * 5;
+        let ipv4_n = 1 + params.ipv4_workers * 3;
+        assert_eq!(m.spec.n_stages(), video_n + ipv4_n);
+        assert_eq!(m.video_stages.len(), video_n);
+        assert_eq!(m.ipv4_stages.len(), ipv4_n);
+        // Entries: one per video lane plus one per packet chain.
+        assert_eq!(
+            m.spec.entries.len(),
+            params.video.lanes + params.ipv4_workers
+        );
+        // Disjoint: no link crosses the workload boundary.
+        for l in &m.spec.links {
+            let from_video = m.video_stages.contains(&l.from);
+            let to_video = m.video_stages.contains(&l.to);
+            assert_eq!(from_video, to_video, "link {l:?} crosses workloads");
+        }
+        // The combined graph lowers onto one valid application.
+        let (app, layout) = m.spec.to_application().expect("mix lowers");
+        assert_eq!(app.objects().len(), m.spec.n_stages());
+        // The video half keeps its per-lane memory service demands.
+        assert_eq!(layout.services.len(), params.video.lanes);
+    }
+
+    #[test]
+    fn mix_rates_stay_per_workload() {
+        let m = video_ipv4_mix(&MixParams::default());
+        // 4 video entries at 0.001, 4 ipv4 entries at 0.01.
+        let mut rates = vec![0.001; 4];
+        rates.extend([0.01; 4]);
+        let stage_rates = m.spec.stage_rates(&rates);
+        // Each classifier queries the shared lookup once per packet.
+        assert!((stage_rates[m.route_lookup] - 0.04).abs() < 1e-12);
+        // Video rate control sees one query per slice per lane.
+        assert!((stage_rates[m.rate_control] - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one IPv4 worker")]
+    fn zero_workers_panics() {
+        video_ipv4_mix(&MixParams {
+            ipv4_workers: 0,
+            ..MixParams::default()
+        });
+    }
+}

@@ -234,6 +234,28 @@ impl PipelineSpec {
         self.stages.len()
     }
 
+    /// Appends every stage, link and entry of `other` into this pipeline,
+    /// returning the index offset its stages landed at (stage `i` of
+    /// `other` becomes stage `offset + i` here). The graphs stay disjoint —
+    /// no links are added between them — which is exactly the shape of a
+    /// workload *mix*: independent applications placed on one fabric,
+    /// interfering only through shared platform resources.
+    pub fn absorb(&mut self, other: &PipelineSpec) -> usize {
+        let offset = self.stages.len();
+        self.stages.extend(other.stages.iter().cloned());
+        for l in &other.links {
+            self.links.push(StageLink {
+                from: l.from + offset,
+                to: l.to + offset,
+                items_per_item: l.items_per_item,
+            });
+        }
+        for &e in &other.entries {
+            self.entries.push(e + offset);
+        }
+        offset
+    }
+
     /// Compute cost of one item traversing the whole pipeline once
     /// (baseline cycles, weighted by link multiplicities from entry rates
     /// of 1 item per cycle split evenly across entries).

@@ -14,6 +14,12 @@
 //! 12      4     body length
 //! 16      n     body
 //! ```
+//!
+//! The sequence number is the **invocation tag**: every marshalled request
+//! carries a fresh one, and a conforming runtime's reply to a twoway
+//! invocation echoes the request's sequence number (rather than drawing a
+//! new one), so a request/reply pair correlates on the wire end-to-end —
+//! the hook the platform's per-invocation latency telemetry hangs off.
 
 use crate::app::MethodId;
 use nw_types::ObjectId;

@@ -12,7 +12,7 @@
 //!   transistors could hold "over one thousand 32 bit RISC processors"
 //!   (claim C3, experiment F3).
 //! * [`wire`] — cross-chip propagation delay reaching 6–10 clock cycles at
-//!   50 nm (claim C5, experiment F5, after Benini & De Micheli [12]).
+//!   50 nm (claim C5, experiment F5, after Benini & De Micheli \[12\]).
 //! * [`continuum`] — the NRE–flexibility continuum from FPGA through
 //!   gate-array-style structured fabrics and platform SoCs to full-custom
 //!   ASICs (claim C11, experiment T7).

@@ -1,6 +1,6 @@
 //! Cross-chip wire delay versus technology node.
 //!
-//! §6.1 of the paper, citing Benini & De Micheli [12]: "In 50 nm
+//! §6.1 of the paper, citing Benini & De Micheli \[12\]: "In 50 nm
 //! technologies, it is predicted that the intra-chip propagation delay will
 //! be between six and ten clock cycles." The model here reproduces that
 //! prediction: per-mm wire delay worsens inversely with feature size (RC of

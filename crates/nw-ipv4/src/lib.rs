@@ -5,7 +5,7 @@
 //! instance of the StepNP platform … processing worst-case traffic at a
 //! 10 Gbit line rate", and §8 cites the NPSE SRAM-based packet search engine
 //! that "in comparison with CAM-based look-up methods … is more memory and
-//! power-efficient" [9].
+//! power-efficient" \[9\].
 //!
 //! This crate is that workload, built for real:
 //!

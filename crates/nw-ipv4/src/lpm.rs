@@ -1,6 +1,6 @@
 //! Longest-prefix-match engines and their cost models.
 //!
-//! The paper's §8 cites NPSE [9]: "In comparison with CAM-based look-up
+//! The paper's §8 cites NPSE \[9\]: "In comparison with CAM-based look-up
 //! methods, it relies on an SRAM-based approach that is more memory and
 //! power-efficient." Experiment T5 reproduces that comparison with four
 //! engines sharing one trait:

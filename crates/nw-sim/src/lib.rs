@@ -14,8 +14,9 @@
 //!
 //! The [`stats`] module holds the measurement instruments every experiment
 //! in the paper reproduction relies on: busy/idle [`stats::Utilization`],
-//! latency [`stats::Histogram`]s, throughput [`stats::Counter`]s and
-//! streaming means.
+//! latency [`stats::Histogram`]s and the sub-octave-resolution
+//! [`stats::LatencyHistogram`] behind the per-invocation percentile
+//! telemetry, throughput [`stats::Counter`]s and streaming means.
 //!
 //! # Examples
 //!
@@ -45,7 +46,7 @@ pub mod trace;
 pub use event::EventQueue;
 pub use parallel::{parallel_map, parallel_map_with, set_sweep_threads, sweep_threads};
 pub use pipeline::{PipelinedServer, ServerFull};
-pub use stats::{Counter, Histogram, OnlineMean, Utilization};
+pub use stats::{Counter, Histogram, LatencyHistogram, OnlineMean, Utilization};
 pub use trace::{SignalId, Tracer};
 
 use nw_types::Cycles;

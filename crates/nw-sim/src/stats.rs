@@ -276,6 +276,195 @@ impl Default for Histogram {
     }
 }
 
+/// A fixed-bucket log-scale latency histogram with sub-octave resolution.
+///
+/// The per-invocation latency telemetry needs tail quantiles (p95/p99) that
+/// the coarse power-of-two [`Histogram`] cannot resolve better than 2×. This
+/// collector keeps 16 sub-buckets per octave (plus 16 exact buckets for
+/// values below 16), bounding the relative error of any quantile at
+/// 1/16 ≈ 6.25% while staying a fixed-size array — no per-sample
+/// allocation, O(1) record, O(buckets) merge. Min, max and mean are exact.
+///
+/// Two histograms fed the same samples in any order are equal
+/// (`PartialEq` compares bucket counts and the exact moments), and
+/// [`LatencyHistogram::merge`] is associative and commutative, so serial
+/// and parallel sweeps aggregating per-shard histograms agree bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use nw_sim::LatencyHistogram;
+/// use nw_types::Cycles;
+///
+/// let mut h = LatencyHistogram::new();
+/// for v in 1..=1000u64 { h.record(Cycles(v)); }
+/// assert_eq!(h.count(), 1000);
+/// assert_eq!(h.max(), Some(Cycles(1000)));
+/// // p50 lands within one sub-bucket (6.25%) of the true median.
+/// let p50 = h.quantile(0.5).0;
+/// assert!((500..=532).contains(&p50), "{p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples whose value falls in bucket `i`; see
+    /// [`LatencyHistogram::bucket_of`] for the layout.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: Option<Cycles>,
+    max: Option<Cycles>,
+}
+
+/// Sub-buckets per octave (and the number of exact low-value buckets).
+const LAT_SUB: usize = 16;
+/// log2 of [`LAT_SUB`].
+const LAT_SUB_BITS: u32 = 4;
+/// Octaves covered: values 16..2^64 span exponents 4..=63.
+const LAT_BUCKETS: usize = LAT_SUB + (64 - LAT_SUB_BITS as usize) * LAT_SUB;
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; LAT_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// The bucket index of a value: values `< 16` get exact buckets; larger
+    /// values share an octave (`2^o ≤ v < 2^(o+1)`) split into 16 equal
+    /// sub-buckets keyed on the 4 bits after the leading bit.
+    fn bucket_of(v: u64) -> usize {
+        if v < LAT_SUB as u64 {
+            v as usize
+        } else {
+            let o = 63 - v.leading_zeros() as usize;
+            let sub = ((v >> (o - LAT_SUB_BITS as usize)) & (LAT_SUB as u64 - 1)) as usize;
+            LAT_SUB + (o - LAT_SUB_BITS as usize) * LAT_SUB + sub
+        }
+    }
+
+    /// The largest value that falls into bucket `i` — what quantile
+    /// extraction reports, making every quantile an upper bound at most one
+    /// sub-bucket (1/16th of the sample's octave) above the true order
+    /// statistic.
+    fn bucket_upper(i: usize) -> u64 {
+        if i < LAT_SUB {
+            i as u64
+        } else {
+            let rel = i - LAT_SUB;
+            let o = LAT_SUB_BITS as usize + rel / LAT_SUB;
+            let sub = (rel % LAT_SUB) as u64;
+            // 2^o - 1 + (sub + 1) · 2^(o-4); tops out at u64::MAX exactly.
+            ((1u64 << o) - 1) + ((sub + 1) << (o - LAT_SUB_BITS as usize))
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: Cycles) {
+        self.buckets[Self::bucket_of(v.0)] += 1;
+        self.count += 1;
+        self.sum += v.0 as u128;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (exact).
+    pub fn min(&self) -> Option<Cycles> {
+        self.min
+    }
+
+    /// Largest recorded sample (exact).
+    pub fn max(&self) -> Option<Cycles> {
+        self.max
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1): the upper bound of the bucket holding
+    /// the `⌈count · q⌉`-th smallest sample, clamped to the exact observed
+    /// min/max. At most 1/16 ≈ 6.25% above the true order statistic.
+    /// Returns zero cycles when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Cycles {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return Cycles::ZERO;
+        }
+        let target = ((self.count as f64 * q).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let ub = Cycles(Self::bucket_upper(i));
+                // The histogram's exact extremes tighten the bucket bound.
+                let lo = self.min.unwrap_or(Cycles::ZERO);
+                let hi = self.max.unwrap_or(ub);
+                return ub.max(lo).min(hi);
+            }
+        }
+        self.max.unwrap_or(Cycles::ZERO)
+    }
+
+    /// Median latency (see [`LatencyHistogram::quantile`]).
+    pub fn p50(&self) -> Cycles {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Cycles {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Cycles {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one (per-shard aggregation in
+    /// parallel sweeps). Associative and commutative: any merge tree over
+    /// the same shards yields the same histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
 /// Streaming mean and variance (Welford's algorithm).
 ///
 /// # Examples
@@ -407,6 +596,88 @@ mod tests {
     #[should_panic(expected = "quantile must be in [0,1]")]
     fn quantile_out_of_range_panics() {
         Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn latency_histogram_low_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(Cycles(v));
+        }
+        // One sample per exact bucket: every quantile is the exact value.
+        for v in 0..16u64 {
+            let q = (v + 1) as f64 / 16.0;
+            assert_eq!(h.quantile(q), Cycles(v), "q={q}");
+        }
+    }
+
+    #[test]
+    fn latency_histogram_bucket_layout() {
+        // Exact region.
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(15), 15);
+        // First octave region: 16..32 in sub-buckets of width 1.
+        assert_eq!(LatencyHistogram::bucket_of(16), 16);
+        assert_eq!(LatencyHistogram::bucket_of(31), 31);
+        // 32..64: width-2 sub-buckets.
+        assert_eq!(LatencyHistogram::bucket_of(32), 32);
+        assert_eq!(LatencyHistogram::bucket_of(33), 32);
+        assert_eq!(LatencyHistogram::bucket_of(34), 33);
+        // Upper bounds invert the mapping.
+        for v in [0u64, 15, 16, 31, 32, 100, 1 << 20, u64::MAX] {
+            let i = LatencyHistogram::bucket_of(v);
+            assert!(LatencyHistogram::bucket_upper(i) >= v, "v={v}");
+            if i + 1 < LAT_BUCKETS {
+                assert!(
+                    LatencyHistogram::bucket_upper(i) < LatencyHistogram::bucket_upper(i + 1),
+                    "v={v}"
+                );
+            }
+        }
+        assert_eq!(LatencyHistogram::bucket_upper(LAT_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn latency_histogram_percentiles_bound_the_oracle() {
+        let mut h = LatencyHistogram::new();
+        let samples: Vec<u64> = (1..=10_000).map(|i| i * 7 % 9973 + 1).collect();
+        for &v in &samples {
+            h.record(Cycles(v));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            let target = ((sorted.len() as f64 * q).ceil() as usize).max(1);
+            let oracle = sorted[target - 1];
+            let got = h.quantile(q).0;
+            assert!(got >= oracle, "q={q}: {got} < oracle {oracle}");
+            assert!(
+                got <= oracle + oracle / 16 + 1,
+                "q={q}: {got} overshoots oracle {oracle}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_histogram_merge_matches_combined() {
+        let mut all = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in 0..500u64 {
+            let s = Cycles(v * v % 7919);
+            all.record(s);
+            if v % 2 == 0 {
+                a.record(s);
+            } else {
+                b.record(s);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, all);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ba, all);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property tests for the simulation kernel: event ordering, statistics
 //! invariants and the pipelined server's timing contract.
 
-use nw_sim::{Clocked, EventQueue, Histogram, PipelinedServer, Utilization};
+use nw_sim::{Clocked, EventQueue, Histogram, LatencyHistogram, PipelinedServer, Utilization};
 use nw_types::Cycles;
 use proptest::prelude::*;
 
@@ -46,6 +46,89 @@ proptest! {
         // Quantiles are monotone.
         prop_assert!(h.quantile(0.25) <= h.quantile(0.75));
         prop_assert!(h.quantile(0.75) <= h.quantile(1.0));
+    }
+
+    /// Latency-histogram quantiles bound the sorted-vector oracle from
+    /// above within one sub-bucket (1/16 relative error), for every q.
+    #[test]
+    fn latency_quantiles_bound_the_oracle(
+        values in prop::collection::vec(0u64..2_000_000, 1..300),
+        qs in prop::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(Cycles(v));
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), Some(Cycles(sorted[0])));
+        prop_assert_eq!(h.max(), Some(Cycles(*sorted.last().unwrap())));
+        for &q in &qs {
+            let target = ((sorted.len() as f64 * q).ceil() as usize).max(1);
+            let oracle = sorted[target - 1];
+            let got = h.quantile(q).0;
+            prop_assert!(got >= oracle, "q={q}: {got} < oracle {oracle}");
+            prop_assert!(
+                got <= oracle + oracle / 16 + 1,
+                "q={q}: {got} overshoots oracle {oracle}"
+            );
+        }
+        // Quantiles are monotone in q (bucket scan order).
+        prop_assert!(h.p50() <= h.p95());
+        prop_assert!(h.p95() <= h.p99());
+        prop_assert!(h.p99() <= h.quantile(1.0));
+    }
+
+    /// Merging per-shard latency histograms is associative and order-free:
+    /// any merge tree equals recording every sample into one histogram —
+    /// the contract parallel sweeps rely on for bit-identical aggregation.
+    #[test]
+    fn latency_merge_is_associative(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+        c in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let fill = |vs: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &v in vs {
+                h.record(Cycles(v));
+            }
+            h
+        };
+        let (ha, hb, hc) = (fill(&a), fill(&b), fill(&c));
+        // (a ∪ b) ∪ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ∪ (b ∪ c)
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+        // And both equal the all-samples histogram.
+        let mut all = Vec::new();
+        all.extend_from_slice(&a);
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &fill(&all));
+    }
+
+    /// Bucketing is monotone: a larger sample never lands in an earlier
+    /// bucket, observed through quantiles of two-point histograms.
+    #[test]
+    fn latency_buckets_are_monotone(v in 0u64..u64::MAX, w in 0u64..u64::MAX) {
+        let (lo, hi) = (v.min(w), v.max(w));
+        let mut h = LatencyHistogram::new();
+        h.record(Cycles(lo));
+        h.record(Cycles(hi));
+        // The half quantile isolates the smaller sample's bucket, the full
+        // quantile the larger one's; monotone bucketing keeps them ordered.
+        prop_assert!(h.quantile(0.5) <= h.quantile(1.0));
+        prop_assert!(h.quantile(0.5).0 >= lo);
+        // The top quantile clamps to the exact observed max.
+        prop_assert_eq!(h.quantile(1.0).0, hi);
     }
 
     /// Utilization is always in [0, 1] and merge adds exactly.
