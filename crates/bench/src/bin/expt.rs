@@ -4,14 +4,18 @@
 //! expt all            # every experiment, DESIGN.md order
 //! expt t3 f6          # selected experiments
 //! expt --fast all     # smaller simulation windows
-//! expt list           # registered experiments and scenarios
+//! expt list           # registered experiments, scenarios and lint rules
 //! expt bench          # time the simulator, write BENCH_platform.json
 //! expt bench --quick  # CI-sized benchmark windows
+//! expt lint           # determinism audit (nw-analyze); non-zero on findings
+//! expt lint --json    # machine-readable findings for CI
+//! expt lint --rules   # the rule registry (id + one-line contract)
 //! ```
 
 use nw_bench::experiments::{run_by_id, ALL_IDS, EXPERIMENTS};
 
-/// Prints the experiment index and the scenario-registry catalog.
+/// Prints the experiment index, the scenario-registry catalog and the
+/// determinism-audit rule registry.
 fn print_list() {
     println!("Experiments (run with `expt <id>`):");
     for e in EXPERIMENTS {
@@ -22,10 +26,60 @@ fn print_list() {
     for spec in nanowall::ScenarioRegistry::standard().specs() {
         println!("  {:<8} {}", spec.name, spec.summary);
     }
+    println!();
+    println!("Determinism-audit rules (run with `expt lint`):");
+    for rule in nw_analyze::ALL_RULES {
+        println!("  {:<8} {}", rule.id(), rule.description());
+    }
+}
+
+/// `expt lint`: runs the determinism auditor over the workspace and exits
+/// non-zero on any non-allowlisted finding (the CI gate).
+fn run_lint(json: bool, rules: bool) {
+    if rules {
+        for rule in nw_analyze::ALL_RULES {
+            println!("{:<8} {}", rule.id(), rule.description());
+        }
+        return;
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|e| {
+        eprintln!("lint: cannot read the current directory: {e}");
+        std::process::exit(2);
+    });
+    let root = nw_analyze::find_root(&cwd).unwrap_or_else(|| {
+        eprintln!(
+            "lint: no workspace root above {} (looked for {} or a [workspace] manifest)",
+            cwd.display(),
+            nw_analyze::ALLOWLIST_FILE
+        );
+        std::process::exit(2);
+    });
+    let report = nw_analyze::analyze(&root).unwrap_or_else(|e| {
+        eprintln!("lint: cannot scan {}: {e}", root.display());
+        std::process::exit(2);
+    });
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("lint") {
+        let json = args.iter().any(|a| a == "--json");
+        let rules = args.iter().any(|a| a == "--rules");
+        if let Some(bad) = args[1..].iter().find(|a| *a != "--json" && *a != "--rules") {
+            eprintln!("usage: expt lint [--json] [--rules] (unknown argument: {bad})");
+            std::process::exit(2);
+        }
+        run_lint(json, rules);
+        return;
+    }
     let fast = args.iter().any(|a| a == "--fast");
     let quick = args.iter().any(|a| a == "--quick");
     // `--baseline <path>`: after a bench run, print a delta table against a

@@ -132,6 +132,87 @@ fn expt_list_covers_every_experiment_and_scenario() {
     }
 }
 
+/// The determinism-audit rule registry is pinned the same way as the
+/// scenario catalog: `expt list` (and `expt lint --rules`) must name every
+/// rule id with a non-empty one-line description, so a rule can never be
+/// added to the auditor without surfacing in the CLI index.
+#[test]
+fn expt_list_covers_every_lint_rule() {
+    let exe = env!("CARGO_BIN_EXE_expt");
+    let list = Command::new(exe).arg("list").output().expect("spawns");
+    assert!(list.status.success(), "expt list must exit 0: {list:?}");
+    let list_out = String::from_utf8_lossy(&list.stdout);
+    let rules = Command::new(exe)
+        .args(["lint", "--rules"])
+        .output()
+        .expect("spawns");
+    assert!(
+        rules.status.success(),
+        "lint --rules must exit 0: {rules:?}"
+    );
+    let rules_out = String::from_utf8_lossy(&rules.stdout);
+    for rule in nw_analyze::ALL_RULES {
+        assert!(
+            !rule.description().trim().is_empty(),
+            "{} needs a description",
+            rule.id()
+        );
+        for (name, out) in [("list", &list_out), ("lint --rules", &rules_out)] {
+            let shown = out.lines().any(|l| {
+                let t = l.trim_start();
+                t.starts_with(rule.id()) && t.contains(rule.description())
+            });
+            assert!(
+                shown,
+                "expt {name} must show {} with its description: {out}",
+                rule.id()
+            );
+        }
+    }
+}
+
+/// `expt lint` over this workspace: exits 0, reports a clean scan in both
+/// human and JSON renderings, and rejects unknown flags with a usage error.
+#[test]
+fn expt_lint_passes_on_this_workspace() {
+    let exe = env!("CARGO_BIN_EXE_expt");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("bench crate lives two levels under the workspace root");
+
+    let clean = Command::new(exe)
+        .arg("lint")
+        .current_dir(root)
+        .output()
+        .expect("spawns");
+    assert!(
+        clean.status.success(),
+        "expt lint must exit 0 on a clean tree: {}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&clean.stdout);
+    assert!(stdout.contains("0 finding(s)"), "summary line: {stdout}");
+
+    let json = Command::new(exe)
+        .args(["lint", "--json"])
+        .current_dir(root)
+        .output()
+        .expect("spawns");
+    assert!(json.status.success(), "lint --json exits 0: {json:?}");
+    let jout = String::from_utf8_lossy(&json.stdout);
+    assert!(
+        jout.contains("\"clean\": true"),
+        "JSON report is clean: {jout}"
+    );
+
+    let bad = Command::new(exe)
+        .args(["lint", "--frobnicate"])
+        .output()
+        .expect("spawns");
+    assert_eq!(bad.status.code(), Some(2), "unknown flag is a usage error");
+}
+
 /// Every registered scenario simulates under both scheduler modes with
 /// bit-identical reports — the registry-wide differential check at smoke
 /// scope, so a newly registered family (like `mix`) is covered the moment

@@ -27,7 +27,7 @@ use nw_pe::{Pe, PeRequest};
 use nw_sim::{Clock, Clocked, LatencyHistogram};
 use nw_types::{AreaMm2, Cycles, NodeId, ObjectId, PeId, Picojoules};
 use std::cell::OnceCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// How [`FppaPlatform::step`] visits components each cycle.
@@ -49,6 +49,8 @@ pub enum SchedulerMode {
 }
 
 /// Process-wide default scheduler: 0 = unset, 1 = dense, 2 = active-set.
+// nw-analyze: allow(ND03): configuration knob read once per platform construction; both
+// scheduler modes simulate bit-identically (pinned by tests/scheduler_differential.rs).
 static DEFAULT_SCHEDULER: AtomicU8 = AtomicU8::new(0);
 
 /// Sets the scheduler mode newly built platforms start in (experiments
@@ -130,12 +132,12 @@ pub struct FppaPlatform {
     clock: Clock,
     outbox: VecDeque<Outgoing>,
     /// In-flight service requests per memory: request id → (tag, reply-to).
-    mem_inflight: Vec<HashMap<u64, (u64, NodeId)>>,
+    mem_inflight: Vec<BTreeMap<u64, (u64, NodeId)>>,
     /// Parked memory requests (bank queues full): (request, tag, reply-to).
     mem_parked: Vec<VecDeque<(MemRequest, u64, NodeId)>>,
-    fabric_inflight: Vec<HashMap<u64, (u64, NodeId)>>,
+    fabric_inflight: Vec<BTreeMap<u64, (u64, NodeId)>>,
     fabric_parked: Vec<VecDeque<(u64, NodeId)>>,
-    hwip_inflight: Vec<HashMap<u64, (u64, NodeId)>>,
+    hwip_inflight: Vec<BTreeMap<u64, (u64, NodeId)>>,
     hwip_parked: Vec<VecDeque<(u64, NodeId)>>,
     next_service_id: u64,
     pub(crate) runtime: Option<Runtime>,
@@ -266,11 +268,11 @@ impl FppaPlatform {
             io_nodes,
             clock: Clock::new(),
             outbox: VecDeque::new(),
-            mem_inflight: (0..n_mems).map(|_| HashMap::new()).collect(),
+            mem_inflight: (0..n_mems).map(|_| BTreeMap::new()).collect(),
             mem_parked: (0..n_mems).map(|_| VecDeque::new()).collect(),
-            fabric_inflight: (0..n_fabrics).map(|_| HashMap::new()).collect(),
+            fabric_inflight: (0..n_fabrics).map(|_| BTreeMap::new()).collect(),
             fabric_parked: (0..n_fabrics).map(|_| VecDeque::new()).collect(),
-            hwip_inflight: (0..n_hwips).map(|_| HashMap::new()).collect(),
+            hwip_inflight: (0..n_hwips).map(|_| BTreeMap::new()).collect(),
             hwip_parked: (0..n_hwips).map(|_| VecDeque::new()).collect(),
             next_service_id: 0,
             runtime: None,
@@ -409,6 +411,16 @@ impl FppaPlatform {
     /// Panics if `i` is out of range.
     pub fn io(&self, i: usize) -> &IoChannel {
         &self.ios[i]
+    }
+
+    /// Payload buffers acquired from the platform's [`PayloadPool`] but not
+    /// yet recycled (`taken - returned`). On a quiesced platform with a
+    /// finite workload this must be zero: every synthesized or ingress
+    /// payload became a packet that was eventually consumed and its buffer
+    /// returned. The scheduler differential suite pins that conservation
+    /// law; a persistent nonzero residue under quiescence is a buffer leak.
+    pub fn payload_outstanding(&self) -> i64 {
+        self.pool.outstanding()
     }
 
     /// NoC hop-distance matrix over all endpoints (input for the MultiFlex

@@ -20,7 +20,11 @@ use nw_dsoc::{Application, Broker, Domain, Message, MessageKind, MessageView, Me
 use nw_noc::{Packet, PayloadPool};
 use nw_pe::{KernelDomain, Op, Pe, Program};
 use nw_types::{Cycles, NodeId, ObjectId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
+
+// nw-analyze: allow-file(RH01): every acquired buffer's ownership transfers out of this
+// module — into synthesized Program sends and outbox messages that become NoC packets;
+// the platform recycles each one at packet consumption (FppaPlatform::route_arrivals).
 use std::fmt;
 use std::sync::Arc;
 
@@ -165,13 +169,13 @@ pub struct Runtime {
     /// Objects whose host PE is kept saturated with entry invocations.
     saturate: Vec<(ObjectId, MethodId)>,
     /// Egress bindings: object → (I/O node, packet bytes).
-    egress: HashMap<ObjectId, (NodeId, u64)>,
+    egress: BTreeMap<ObjectId, (NodeId, u64)>,
     /// Service bindings: object → per-invocation offload calls.
-    services: HashMap<ObjectId, ServiceBinding>,
+    services: BTreeMap<ObjectId, ServiceBinding>,
     /// Fractional call-multiplicity carry per edge index.
     edge_carry: Vec<f64>,
     /// Memoized handler skeletons per (object, method).
-    plans: HashMap<(ObjectId, MethodId), Arc<HandlerPlan>>,
+    plans: BTreeMap<(ObjectId, MethodId), Arc<HandlerPlan>>,
     /// Plan-cache hits (observability for the memoization tests).
     plan_hits: u64,
     /// Invocations queued across all per-PE dispatch queues (so the
@@ -224,10 +228,10 @@ impl Runtime {
             io_bindings: vec![Vec::new(); n_ios],
             io_rr: vec![0; n_ios],
             saturate: Vec::new(),
-            egress: HashMap::new(),
-            services: HashMap::new(),
+            egress: BTreeMap::new(),
+            services: BTreeMap::new(),
             edge_carry: vec![0.0; n_edges],
-            plans: HashMap::new(),
+            plans: BTreeMap::new(),
             plan_hits: 0,
             pending_total: 0,
             seq: 0,

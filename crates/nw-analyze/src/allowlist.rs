@@ -1,0 +1,116 @@
+//! The checked-in allowlist of grandfathered findings.
+//!
+//! Format — one entry per line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! RULE path/relative/to/repo.rs — justification (required)
+//! ```
+//!
+//! An entry suppresses every finding of `RULE` in that file. Entries are
+//! audited by the engine: a line that does not parse, names an unknown
+//! rule, lacks a justification, or no longer matches any finding raises
+//! an [`AL01`](crate::RuleId::Al01) diagnostic — the allowlist can only
+//! shrink truthfully, never rot.
+
+use crate::diag::{Diagnostic, RuleId};
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The rule this entry suppresses.
+    pub rule: RuleId,
+    /// Repo-relative path the suppression applies to.
+    pub path: String,
+    /// Why the finding is acceptable (required, non-empty).
+    pub reason: String,
+    /// 1-based line in the allowlist file (for AL01 reporting).
+    pub line: usize,
+}
+
+/// A parsed allowlist: entries plus the diagnostics its own text earned.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Well-formed entries.
+    pub entries: Vec<AllowEntry>,
+    /// AL01 findings for malformed lines.
+    pub problems: Vec<Diagnostic>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text. `source_path` names the file in AL01
+    /// diagnostics (normally `nw-analyze.allow`).
+    pub fn parse(source_path: &str, text: &str) -> Allowlist {
+        let mut list = Allowlist::default();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut problem = |msg: String| {
+                list.problems.push(Diagnostic {
+                    rule: RuleId::Al01,
+                    path: source_path.to_string(),
+                    line: n + 1,
+                    col: 1,
+                    message: msg,
+                });
+            };
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let (Some(rule_txt), Some(path)) = (parts.next(), parts.next()) else {
+                problem(format!("unparseable allowlist line: `{line}`"));
+                continue;
+            };
+            let Some(rule) = RuleId::from_id(rule_txt) else {
+                problem(format!("unknown rule id `{rule_txt}` in allowlist"));
+                continue;
+            };
+            let reason = parts
+                .next()
+                .unwrap_or("")
+                .trim_start_matches(['—', '-', ':', ' '])
+                .trim();
+            if reason.is_empty() {
+                problem(format!(
+                    "allowlist entry {rule} {path} has no justification — every \
+                     grandfathered finding must say why it is safe"
+                ));
+                continue;
+            }
+            list.entries.push(AllowEntry {
+                rule,
+                path: path.to_string(),
+                reason: reason.to_string(),
+                line: n + 1,
+            });
+        }
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_requires_reasons() {
+        let text = "\
+# comment
+ND01 crates/x/src/a.rs — test oracle, iteration order unobserved
+
+WR01 crates/y/src/wire.rs: bounded by construction
+ND01 crates/z/src/b.rs
+ZZ99 crates/z/src/b.rs — nope
+";
+        let list = Allowlist::parse("nw-analyze.allow", text);
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.entries[0].rule, RuleId::Nd01);
+        assert_eq!(list.entries[0].path, "crates/x/src/a.rs");
+        assert!(list.entries[0].reason.starts_with("test oracle"));
+        assert_eq!(list.entries[1].rule, RuleId::Wr01);
+        // Missing reason and unknown rule are AL01 problems.
+        assert_eq!(list.problems.len(), 2);
+        assert!(list.problems.iter().all(|p| p.rule == RuleId::Al01));
+        assert_eq!(list.problems[0].line, 5);
+        assert_eq!(list.problems[1].line, 6);
+    }
+}

@@ -8,7 +8,7 @@
 //! and proxies consult it to address invocations.
 
 use nw_types::{NodeId, ObjectId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Error from [`Broker::resolve`] for an unregistered object.
@@ -39,7 +39,7 @@ impl std::error::Error for ResolveError {}
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Broker {
-    table: HashMap<ObjectId, NodeId>,
+    table: BTreeMap<ObjectId, NodeId>,
 }
 
 impl Broker {

@@ -41,7 +41,7 @@
 
 use crate::app::{Application, BuildAppError, Domain, MethodDef, ObjectDef};
 use nw_types::ObjectId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Errors from [`parse_application`].
@@ -265,7 +265,7 @@ pub fn parse_application(src: &str) -> Result<Application, ParseIdlError> {
         pos: 0,
     };
     let mut builder = Application::builder("idl");
-    let mut objects: HashMap<String, (ObjectId, HashMap<String, u16>)> = HashMap::new();
+    let mut objects: BTreeMap<String, (ObjectId, BTreeMap<String, u16>)> = BTreeMap::new();
     let mut order: Vec<String> = Vec::new();
 
     // Pass 1 constructs objects eagerly and records edges/entries to
@@ -289,7 +289,7 @@ pub fn parse_application(src: &str) -> Result<Application, ParseIdlError> {
                     def = def.with_state_bytes(bytes);
                 }
                 p.expect("{")?;
-                let mut methods = HashMap::new();
+                let mut methods = BTreeMap::new();
                 loop {
                     let t = p.next("method or '}'")?;
                     match t.text.as_str() {
@@ -361,7 +361,8 @@ pub fn parse_application(src: &str) -> Result<Application, ParseIdlError> {
                                     }
                                 }
                             }
-                            let idx = def.methods.len() as u16;
+                            let idx = u16::try_from(def.methods.len())
+                                .expect("method count fits the u16 wire field");
                             methods.insert(mname.clone(), idx);
                             def = def.with_method(m);
                         }
@@ -413,7 +414,7 @@ pub fn parse_application(src: &str) -> Result<Application, ParseIdlError> {
 /// Parses `object.method` and resolves it.
 fn parse_ref(
     p: &mut Parser,
-    objects: &HashMap<String, (ObjectId, HashMap<String, u16>)>,
+    objects: &BTreeMap<String, (ObjectId, BTreeMap<String, u16>)>,
 ) -> Result<(ObjectId, u16), ParseIdlError> {
     let obj_t = p.ident("object name")?;
     let (id, methods) = objects

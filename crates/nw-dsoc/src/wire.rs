@@ -165,10 +165,12 @@ impl Message {
         out.reserve(self.wire_len());
         out.push(self.kind.to_byte());
         out.push(0);
-        out.extend_from_slice(&(self.object.0 as u32).to_le_bytes());
+        let object = u32::try_from(self.object.0).expect("object id fits the u32 wire field");
+        out.extend_from_slice(&object.to_le_bytes());
         out.extend_from_slice(&self.method.0.to_le_bytes());
         out.extend_from_slice(&self.seq.to_le_bytes());
-        out.extend_from_slice(&(self.body.len() as u32).to_le_bytes());
+        let body_len = u32::try_from(self.body.len()).expect("body fits the u32 length field");
+        out.extend_from_slice(&body_len.to_le_bytes());
         out.extend_from_slice(&self.body);
     }
 
@@ -190,10 +192,12 @@ impl Message {
         out.reserve(Self::HEADER_LEN + body_len);
         out.push(kind.to_byte());
         out.push(0);
-        out.extend_from_slice(&(object.0 as u32).to_le_bytes());
+        let object_word = u32::try_from(object.0).expect("object id fits the u32 wire field");
+        out.extend_from_slice(&object_word.to_le_bytes());
         out.extend_from_slice(&method.0.to_le_bytes());
         out.extend_from_slice(&seq.to_le_bytes());
-        out.extend_from_slice(&(body_len as u32).to_le_bytes());
+        let body_word = u32::try_from(body_len).expect("body fits the u32 length field");
+        out.extend_from_slice(&body_word.to_le_bytes());
         out.resize(out.len() + body_len, 0);
     }
 

@@ -575,6 +575,15 @@ impl Noc {
             let packet = port.queue.pop_front().expect("caller checked non-empty");
             let flits = packet.flits(self.cfg.flit_bytes);
             let ser = flits.div_ceil(port.width).max(1);
+            // Serialization windows never overlap: a port fires only once
+            // its previous transfer has drained, so busy_until moves
+            // monotonically forward.
+            debug_assert!(
+                port.busy_until <= now.0,
+                "router {r} port {p} fired at {} while busy until {}",
+                now.0,
+                port.busy_until
+            );
             port.busy_until = now.0 + ser;
             self.flit_hops.add(flits);
             (packet, port.to, ser, port.latency)
@@ -697,6 +706,43 @@ impl Noc {
         self.drain_arrivals(now);
         self.drain_ni(now);
         self.transmit(now, true);
+        #[cfg(debug_assertions)]
+        self.debug_audit(now);
+    }
+
+    /// Debug-build audit of the active-set bookkeeping against ground
+    /// truth. The event-driven fast path is only sound while the global
+    /// counters mirror the per-router state exactly and the event wheel
+    /// never holds an already-due wake after a tick — the precise
+    /// conditions under which `next_event_cycle` may fast-forward.
+    #[cfg(debug_assertions)]
+    fn debug_audit(&self, now: Cycles) {
+        let queued: usize = self.routers.iter().map(|r| r.queued).sum();
+        debug_assert_eq!(
+            self.queued_total, queued,
+            "queued_total diverged from per-router queues at {now:?}"
+        );
+        let ni: usize = self.routers.iter().map(|r| r.ni_in.len()).sum();
+        debug_assert_eq!(
+            self.ni_pending, ni,
+            "ni_pending diverged from NI queues at {now:?}"
+        );
+        let eject: usize = self.routers.iter().map(|r| r.eject.len()).sum();
+        debug_assert_eq!(
+            self.eject_pending, eject,
+            "eject_pending diverged from eject queues at {now:?}"
+        );
+        let ready = self.ni_ready.iter().filter(|&&b| b).count();
+        debug_assert_eq!(
+            self.ni_ready_count, ready,
+            "ni_ready_count diverged from ni_ready flags at {now:?}"
+        );
+        for (r, &at) in self.wake_at.iter().enumerate() {
+            debug_assert!(
+                at == u64::MAX || at > now.0,
+                "router {r} holds a stale wake at {at} after tick {now:?}"
+            );
+        }
     }
 }
 
@@ -705,6 +751,8 @@ impl Clocked for Noc {
         self.drain_arrivals(now);
         self.drain_ni(now);
         self.transmit(now, false);
+        #[cfg(debug_assertions)]
+        self.debug_audit(now);
     }
 }
 

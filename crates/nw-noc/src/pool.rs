@@ -37,6 +37,8 @@ pub struct PayloadPool {
     free: Vec<Vec<u8>>,
     recycled: u64,
     allocated: u64,
+    taken: u64,
+    returned: u64,
 }
 
 impl PayloadPool {
@@ -52,6 +54,7 @@ impl PayloadPool {
     /// Takes an empty buffer (length 0), reusing a recycled allocation when
     /// one is available.
     pub fn take(&mut self) -> Vec<u8> {
+        self.taken += 1;
         match self.free.pop() {
             Some(v) => {
                 self.recycled += 1;
@@ -92,6 +95,7 @@ impl PayloadPool {
     /// see stale bytes. Zero-capacity buffers and overflow beyond
     /// [`PayloadPool::MAX_FREE`] are dropped.
     pub fn put(&mut self, mut v: Vec<u8>) {
+        self.returned += 1;
         if v.capacity() == 0 || self.free.len() >= Self::MAX_FREE {
             return;
         }
@@ -112,6 +116,17 @@ impl PayloadPool {
     /// Buffers currently on the free list.
     pub fn free_len(&self) -> usize {
         self.free.len()
+    }
+
+    /// Buffers acquired but not yet returned: `taken - returned`.
+    ///
+    /// A quiesced platform with a finite workload must report zero — every
+    /// payload buffer handed out was eventually consumed and recycled. The
+    /// count is signed because the pool also accepts buffers it never
+    /// handed out (a packet built from a caller-owned `Vec` is still
+    /// recycled on consumption), which can push returns past takes.
+    pub fn outstanding(&self) -> i64 {
+        self.taken as i64 - self.returned as i64
     }
 }
 
@@ -145,6 +160,19 @@ mod tests {
         assert_eq!(pool.free_len(), 0);
         let _ = pool.take_zeroed(4);
         assert_eq!(pool.allocated(), 1);
+    }
+
+    #[test]
+    fn outstanding_tracks_the_take_put_balance() {
+        let mut pool = PayloadPool::new();
+        let a = pool.take_zeroed(8);
+        let b = pool.take();
+        assert_eq!(pool.outstanding(), 2);
+        pool.put(a);
+        pool.put(b); // zero-capacity: dropped, but still a return
+        assert_eq!(pool.outstanding(), 0);
+        pool.put(vec![1; 4]); // caller-owned buffer recycled at consumption
+        assert_eq!(pool.outstanding(), -1);
     }
 
     #[test]

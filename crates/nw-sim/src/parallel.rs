@@ -18,6 +18,8 @@ use std::sync::{Mutex, OnceLock};
 
 /// Process-wide worker-count override set by [`set_sweep_threads`]
 /// (0 = no override).
+// nw-analyze: allow(ND03): pool-size knob only — results return in input order and are
+// bit-identical at any worker count (pinned by the serial/parallel differential suites).
 static SWEEP_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Overrides the sweep worker-pool size for this process (`None` restores
@@ -37,6 +39,8 @@ pub fn sweep_threads() -> usize {
     if over >= 1 {
         return over;
     }
+    // nw-analyze: allow(ND03): write-once env cache for the same pool-size knob; sweep
+    // results are independent of the worker count by construction.
     static FROM_ENV: OnceLock<Option<usize>> = OnceLock::new();
     let env = *FROM_ENV.get_or_init(|| {
         std::env::var("NANOWALL_SWEEP_THREADS")

@@ -228,7 +228,7 @@ mod tests {
         let mut t = Tracer::new("m");
         let ids: Vec<_> = (0..200).map(|i| t.add_wire(&format!("s{i}"))).collect();
         assert_eq!(ids.len(), 200);
-        let mut codes = std::collections::HashSet::new();
+        let mut codes = std::collections::BTreeSet::new();
         for i in 0..200 {
             let c = Tracer::code(i);
             assert!(c.chars().all(|ch| ('!'..='~').contains(&ch)));
