@@ -10,6 +10,7 @@
 //! trajectory instead of guessing at it.
 
 use crate::experiments::{run_by_id, ALL_IDS};
+use crate::obs::ProfileEntry;
 use nanowall::scenarios::{self, latency_hiding};
 use nanowall::{set_default_scheduler_mode, PlatformReport, SchedulerMode};
 use nw_pe::SchedPolicy;
@@ -92,6 +93,8 @@ pub struct BenchReport {
     pub sweeps: Vec<SweepEntry>,
     /// Per-experiment timings.
     pub experiments: Vec<ExptTiming>,
+    /// Host-side phase profiles (`host_phase_breakdown` in the JSON).
+    pub profile: Vec<ProfileEntry>,
 }
 
 fn json_f(v: f64) -> String {
@@ -152,6 +155,36 @@ impl BenchReport {
                 } else {
                     ""
                 }
+            );
+        }
+        // Host-side phase attribution. Keyed "rig" (not "name") so the
+        // delta-table line scanner above never mistakes these rows for
+        // scheduler entries.
+        s.push_str("  ],\n  \"host_phase_breakdown\": [\n");
+        for (i, e) in self.profile.iter().enumerate() {
+            let mut phases = String::new();
+            for (j, p) in e.report.phases.iter().enumerate() {
+                let _ = write!(
+                    phases,
+                    "\"{}\": {}{}",
+                    p.phase.name(),
+                    json_f(p.secs),
+                    if j + 1 < e.report.phases.len() {
+                        ", "
+                    } else {
+                        ""
+                    }
+                );
+            }
+            let _ = writeln!(
+                s,
+                "    {{\"rig\": \"{}\", \"cycles\": {}, \"measured_secs\": {}, \"attributed_secs\": {}, \"phases\": {{{}}}}}{}",
+                e.rig,
+                e.cycles,
+                json_f(e.measured_secs),
+                json_f(e.report.total_secs),
+                phases,
+                if i + 1 < self.profile.len() { "," } else { "" }
             );
         }
         s.push_str("  ]\n}\n");
@@ -239,6 +272,10 @@ impl BenchReport {
         let _ = writeln!(s, "BENCH  experiment wall-clock");
         for e in &self.experiments {
             let _ = writeln!(s, "  {:<6} {:>8.4}s", e.id, e.secs);
+        }
+        if !self.profile.is_empty() {
+            let _ = writeln!(s, "BENCH  host phase breakdown");
+            s.push_str(&crate::obs::render_profile(&self.profile));
         }
         s
     }
@@ -427,6 +464,7 @@ pub fn run_bench(quick: bool) -> BenchReport {
         scheduler,
         sweeps,
         experiments,
+        profile: crate::obs::run_profile(quick),
     }
 }
 
@@ -486,12 +524,30 @@ mod tests {
                 id: "t1".into(),
                 secs: 0.01,
             }],
+            profile: vec![ProfileEntry {
+                rig: "mix".into(),
+                cycles: 1_000,
+                measured_secs: 0.5,
+                report: nanowall::ProfileReport {
+                    phases: vec![nanowall::PhaseSlice {
+                        phase: nanowall::HostPhase::NocTick,
+                        secs: 0.25,
+                        laps: 10,
+                    }],
+                    total_secs: 0.25,
+                },
+            }],
         };
         let j = r.to_json();
         assert!(j.contains("\"bit_identical\": true"));
         assert!(j.contains("\"speedup\": 2.000000"));
         assert!(j.contains("\"speedup\": 4.000000"));
         assert!(j.contains("\"id\": \"t1\""));
+        assert!(j.contains("\"host_phase_breakdown\""));
+        assert!(j.contains("\"rig\": \"mix\""));
+        assert!(j.contains("\"noc_tick\": 0.250000"));
+        // Profile rows must never parse as scheduler baseline entries.
+        assert_eq!(parse_scheduler_entries(&j).len(), r.scheduler.len());
         assert_eq!(
             j.matches('{').count(),
             j.matches('}').count(),
@@ -525,6 +581,7 @@ mod tests {
             ],
             sweeps: Vec::new(),
             experiments: Vec::new(),
+            profile: Vec::new(),
         };
         let mut new = base.clone();
         new.scheduler[0].active_cycles_per_sec = 2500.0;

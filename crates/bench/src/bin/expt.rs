@@ -10,13 +10,29 @@
 //! expt lint           # determinism audit (nw-analyze); non-zero on findings
 //! expt lint --json    # machine-readable findings for CI
 //! expt lint --rules   # the rule registry (id + one-line contract)
+//! expt trace --scenario mix --out mix.json   # Perfetto trace of a scenario
+//! expt profile [--quick]                     # host-side phase breakdown
+//! expt --help         # the subcommand table
 //! ```
 
 use nw_bench::experiments::{run_by_id, ALL_IDS, EXPERIMENTS};
+use nw_bench::obs;
 
-/// Prints the experiment index, the scenario-registry catalog and the
-/// determinism-audit rule registry.
+/// Prints the subcommand table (shared with `expt list` and pinned by the
+/// smoke tests).
+fn print_help() {
+    println!("usage: expt [--fast] <subcommand> [args]");
+    println!();
+    println!("Subcommands:");
+    print!("{}", obs::render_subcommands());
+}
+
+/// Prints the subcommand table, the experiment index, the
+/// scenario-registry catalog and the determinism-audit rule registry.
 fn print_list() {
+    println!("Subcommands:");
+    print!("{}", obs::render_subcommands());
+    println!();
     println!("Experiments (run with `expt <id>`):");
     for e in EXPERIMENTS {
         println!("  {:<4} {}", e.id, e.title);
@@ -31,6 +47,58 @@ fn print_list() {
     for rule in nw_analyze::ALL_RULES {
         println!("  {:<8} {}", rule.id(), rule.description());
     }
+}
+
+/// `expt trace`: run a scenario traced, write the Perfetto JSON.
+fn run_trace_cmd(args: &[String]) {
+    let mut scenario = "mix".to_owned();
+    let mut out = "trace.json".to_owned();
+    let mut cycles: u64 = 50_000;
+    let mut buffer: usize = 1 << 16;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("trace: {what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--scenario" => scenario = grab("--scenario"),
+            "--out" => out = grab("--out"),
+            "--cycles" => {
+                cycles = grab("--cycles").parse().unwrap_or_else(|e| {
+                    eprintln!("trace: bad --cycles: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--buffer" => {
+                buffer = grab("--buffer").parse().unwrap_or_else(|e| {
+                    eprintln!("trace: bad --buffer: {e}");
+                    std::process::exit(2);
+                });
+            }
+            bad => {
+                eprintln!(
+                    "usage: expt trace [--scenario <name>] [--out <file>] [--cycles <n>] [--buffer <n>] (unknown argument: {bad})"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let run = obs::run_trace(&scenario, cycles, buffer).unwrap_or_else(|e| {
+        eprintln!("trace: {e}");
+        std::process::exit(2);
+    });
+    std::fs::write(&out, &run.json).unwrap_or_else(|e| {
+        eprintln!("trace: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "TRACE  {scenario}  {cycles} cycles  {} events captured  {} dropped  -> {out}",
+        run.events, run.dropped
+    );
+    print!("{}", run.heatmap_table);
 }
 
 /// `expt lint`: runs the determinism auditor over the workspace and exits
@@ -70,6 +138,23 @@ fn run_lint(json: bool, rules: bool) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        run_trace_cmd(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        if let Some(bad) = args[1..].iter().find(|a| *a != "--quick") {
+            eprintln!("usage: expt profile [--quick] (unknown argument: {bad})");
+            std::process::exit(2);
+        }
+        let quick = args.iter().any(|a| a == "--quick");
+        print!("{}", obs::render_profile(&obs::run_profile(quick)));
+        return;
+    }
     if args.first().map(String::as_str) == Some("lint") {
         let json = args.iter().any(|a| a == "--json");
         let rules = args.iter().any(|a| a == "--rules");
@@ -137,7 +222,7 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: expt [--fast] <list | all | bench | {}>",
+            "usage: expt [--fast] <list | all | bench | lint | trace | profile | {}> (see `expt --help`)",
             ALL_IDS.join(" | ")
         );
         std::process::exit(2);

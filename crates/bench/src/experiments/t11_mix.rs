@@ -47,6 +47,11 @@ pub struct MixPoint {
     pub lookup_p99: u64,
     /// The route-lookup deadline budget in cycles.
     pub lookup_deadline: u64,
+    /// Raw count of lookup round trips that blew the budget — the same
+    /// counter the trace layer emits as [`nanowall::TraceEvent::DeadlineMiss`]
+    /// instants, so a Perfetto capture of a grid point and this table agree
+    /// event for event.
+    pub lookup_misses: u64,
     /// Fraction of lookup round trips that blew the budget.
     pub lookup_miss_rate: f64,
 }
@@ -105,6 +110,7 @@ fn measure(params: &MixParams, video_gbps: f64, ipv4_gbps: f64, cycles: u64) -> 
         lookup_p95: lookup.p95.0,
         lookup_p99: lookup.p99.0,
         lookup_deadline: lookup.deadline.expect("mix rig sets the budget"),
+        lookup_misses: lookup.deadline_misses,
         lookup_miss_rate: lookup.miss_rate(),
     }
 }
@@ -136,6 +142,7 @@ pub fn run(fast: bool) -> T11Result {
         "video p50/p95/p99",
         "lookup p50/p95/p99",
         "deadline",
+        "misses",
         "miss",
     ]);
     for p in &grid {
@@ -147,6 +154,7 @@ pub fn run(fast: bool) -> T11Result {
             format!("{}/{}/{} cyc", p.video_p50, p.video_p95, p.video_p99),
             format!("{}/{}/{} cyc", p.lookup_p50, p.lookup_p95, p.lookup_p99),
             format!("{} cyc", p.lookup_deadline),
+            p.lookup_misses.to_string(),
             format!("{:.1}%", p.lookup_miss_rate * 100.0),
         ]);
     }
@@ -214,5 +222,43 @@ mod tests {
             one.est_miss_rate >= four.est_miss_rate,
             "{one:?} vs {four:?}"
         );
+    }
+
+    /// The trace layer and the interference table count the same misses:
+    /// rerun the grid's hottest corner with a trace sink installed and
+    /// check the `DeadlineMiss` instants attributed to the route-lookup
+    /// object match the report's `deadline_misses` exactly.
+    #[test]
+    fn trace_deadline_misses_agree_with_the_grid() {
+        use nanowall::{RingBufferSink, TraceEvent};
+
+        let cycles = 40_000;
+        let params = mix_demo_params(true);
+        let point = measure(&params, 8.0, 2.5, cycles);
+
+        let mut mix = mix_rig_detailed(&params, mix_pe_pool(&params), 4, 4, 8.0, 2.5);
+        mix.rig
+            .platform
+            .set_trace_sink(Box::new(RingBufferSink::new(1 << 18)));
+        mix.rig.run(cycles);
+        let mut sink = mix.rig.platform.take_trace_sink().expect("sink installed");
+        let ring = sink
+            .as_any_mut()
+            .downcast_mut::<RingBufferSink>()
+            .expect("ring sink");
+        assert_eq!(ring.dropped(), 0, "ring must hold the whole capture");
+        let lookup_obj = mix.objects[mix.workload.route_lookup].0;
+        let traced_misses = ring
+            .drain()
+            .iter()
+            .filter(
+                |e| matches!(e, TraceEvent::DeadlineMiss { object, .. } if *object == lookup_obj),
+            )
+            .count() as u64;
+        assert_eq!(
+            traced_misses, point.lookup_misses,
+            "trace and table disagree on lookup deadline misses"
+        );
+        assert!(traced_misses > 0, "the hot corner must miss its budget");
     }
 }

@@ -1,0 +1,239 @@
+//! `expt trace` and `expt profile` — the observability subcommands.
+//!
+//! `trace` runs a registered scenario with a [`RingBufferSink`] installed,
+//! exports the captured events as Chrome trace-event / Perfetto JSON
+//! (open the file in `ui.perfetto.dev` or `chrome://tracing`), and appends
+//! the NoC contention heatmap both inside the JSON and as a stdout table.
+//!
+//! `profile` runs a few representative rigs with a [`HostProfiler`]
+//! installed and prints where the simulator process spends its wall-clock
+//! time, phase by phase. The same data lands in `expt bench`'s JSON as the
+//! `host_phase_breakdown` section, with the invariant that the attributed
+//! phase times sum to (almost all of) the measured loop wall-clock —
+//! lap-based attribution leaves no gaps.
+
+use nanowall::scenarios::ScenarioRegistry;
+use nanowall::{HostProfiler, ProfileReport, RingBufferSink};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Every `expt` subcommand with its one-line description — the single
+/// source for `expt --help`, `expt list`, and the smoke tests that pin
+/// both.
+pub const SUBCOMMANDS: &[(&str, &str)] = &[
+    (
+        "list",
+        "registered experiments, scenarios, trace subcommands and lint rules",
+    ),
+    ("all", "run every experiment in DESIGN.md order"),
+    (
+        "<id>...",
+        "run selected experiments (see `expt list` for ids)",
+    ),
+    (
+        "bench",
+        "time the simulator, write BENCH_platform.json (--quick for CI windows)",
+    ),
+    (
+        "lint",
+        "determinism audit via nw-analyze; non-zero on findings (--json, --rules)",
+    ),
+    (
+        "trace",
+        "run a scenario with tracing, write Perfetto JSON (--scenario <name> --out <file>)",
+    ),
+    (
+        "profile",
+        "host-side wall-clock phase breakdown of the main loop (--quick)",
+    ),
+];
+
+/// Renders the subcommand table (the body of `expt --help`).
+pub fn render_subcommands() -> String {
+    let mut s = String::new();
+    for (name, what) in SUBCOMMANDS {
+        let _ = writeln!(s, "  {name:<10} {what}");
+    }
+    s
+}
+
+/// The outcome of one traced scenario run.
+#[derive(Debug)]
+pub struct TraceRun {
+    /// The Chrome trace-event JSON (validated before being handed out).
+    pub json: String,
+    /// Events captured in the ring (after eviction).
+    pub events: usize,
+    /// Events evicted because the ring was full.
+    pub dropped: u64,
+    /// Rendered heatmap table for stdout.
+    pub heatmap_table: String,
+}
+
+/// Runs registry scenario `name` for `cycles` cycles with a ring of
+/// `buffer` events attached, and exports the capture as validated
+/// Chrome/Perfetto JSON.
+///
+/// # Errors
+///
+/// An unknown scenario name, or (which would be a bug) the exporter
+/// producing JSON its own validator rejects.
+pub fn run_trace(name: &str, cycles: u64, buffer: usize) -> Result<TraceRun, String> {
+    let registry = ScenarioRegistry::standard();
+    let mut rig = registry.build(name, true).ok_or_else(|| {
+        let known: Vec<&str> = registry.specs().iter().map(|s| s.name).collect();
+        format!("unknown scenario {name:?} (known: {})", known.join(", "))
+    })?;
+    rig.platform
+        .set_trace_sink(Box::new(RingBufferSink::new(buffer)));
+    rig.run(cycles);
+    let mut sink = rig
+        .platform
+        .take_trace_sink()
+        .expect("sink was installed above");
+    let ring = sink
+        .as_any_mut()
+        .downcast_mut::<RingBufferSink>()
+        .expect("installed sink is a RingBufferSink");
+    let dropped = ring.dropped();
+    let events = ring.drain();
+    let heatmap = rig.platform.noc_heatmap();
+    let json = nanowall::export_chrome_trace(&events, dropped, heatmap.as_ref());
+    nanowall::validate_chrome_trace(&json)
+        .map_err(|e| format!("exporter produced an invalid trace: {e}"))?;
+    Ok(TraceRun {
+        json,
+        events: events.len(),
+        dropped,
+        heatmap_table: heatmap.map(|h| h.render(8)).unwrap_or_default(),
+    })
+}
+
+/// One profiled rig: the phase breakdown plus the independently measured
+/// total wall-clock of the run it profiled.
+#[derive(Debug, Clone)]
+pub struct ProfileEntry {
+    /// Rig label.
+    pub rig: String,
+    /// Simulated window in cycles.
+    pub cycles: u64,
+    /// Wall-clock of the whole `run` call, measured outside the profiler.
+    pub measured_secs: f64,
+    /// The profiler's per-phase attribution.
+    pub report: ProfileReport,
+}
+
+/// Profiles the scheduler main loop on representative scenario rigs.
+/// `quick` shrinks the windows to CI size.
+pub fn run_profile(quick: bool) -> Vec<ProfileEntry> {
+    let win = if quick { 200_000 } else { 1_000_000 };
+    let registry = ScenarioRegistry::standard();
+    // One busy rig (mix: telecom + IPv4 sharing the fabric) and one
+    // mostly-idle rig (modem: bursts far apart) — the two regimes have
+    // opposite phase profiles (step-dominated vs fast-forward-dominated).
+    [("mix", win / 2), ("modem", win)]
+        .iter()
+        .map(|&(name, cycles)| {
+            let mut rig = registry
+                .build(name, true)
+                .expect("standard registry scenario");
+            rig.platform.set_host_profiler(HostProfiler::new());
+            let t = Instant::now();
+            rig.run(cycles);
+            let measured_secs = t.elapsed().as_secs_f64();
+            let report = rig
+                .platform
+                .take_host_profiler()
+                .expect("profiler was installed above")
+                .report();
+            ProfileEntry {
+                rig: name.to_owned(),
+                cycles,
+                measured_secs,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Renders profile entries for stdout.
+pub fn render_profile(entries: &[ProfileEntry]) -> String {
+    let mut s = String::new();
+    for e in entries {
+        let _ = writeln!(
+            s,
+            "PROFILE  {}  {} cycles  measured {:.3}s  attributed {:.3}s ({:.1}%)",
+            e.rig,
+            e.cycles,
+            e.measured_secs,
+            e.report.total_secs,
+            if e.measured_secs > 0.0 {
+                e.report.total_secs / e.measured_secs * 100.0
+            } else {
+                0.0
+            }
+        );
+        for line in e.report.render().lines().skip(1) {
+            let _ = writeln!(s, "{line}");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_rejects_unknown_scenario() {
+        let err = run_trace("no-such-scenario", 1_000, 64).unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
+        assert!(err.contains("mix"), "lists known scenarios: {err}");
+    }
+
+    #[test]
+    fn trace_on_mix_validates_and_captures_events() {
+        let run = run_trace("mix", 20_000, 4096).expect("mix traces cleanly");
+        assert!(run.events > 0, "a loaded scenario emits events");
+        assert!(run.json.contains("\"traceEvents\""));
+        assert!(
+            run.heatmap_table.contains("busiest links"),
+            "{}",
+            run.heatmap_table
+        );
+    }
+
+    #[test]
+    fn profile_attribution_covers_measured_wall_clock() {
+        let entries = run_profile(true);
+        assert_eq!(entries.len(), 2);
+        for e in &entries {
+            // Lap-based attribution leaves no gaps between arming (run
+            // start) and pausing (run end), so the phase sum must land
+            // within 5% of the independently measured run wall-clock.
+            assert!(
+                e.report.total_secs <= e.measured_secs * 1.05,
+                "{}: attributed {} > measured {}",
+                e.rig,
+                e.report.total_secs,
+                e.measured_secs
+            );
+            assert!(
+                e.report.total_secs >= e.measured_secs * 0.95,
+                "{}: attributed {} misses measured {}",
+                e.rig,
+                e.report.total_secs,
+                e.measured_secs
+            );
+        }
+        assert!(render_profile(&entries).contains("PROFILE  mix"));
+    }
+
+    #[test]
+    fn subcommand_table_mentions_every_subcommand() {
+        let help = render_subcommands();
+        for (name, _) in SUBCOMMANDS {
+            assert!(help.contains(name), "missing {name} in:\n{help}");
+        }
+    }
+}

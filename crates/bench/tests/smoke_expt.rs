@@ -231,6 +231,91 @@ fn every_registered_scenario_runs_under_both_schedulers() {
     }
 }
 
+/// `expt --help` and `expt list` both pin the full subcommand table: every
+/// entry of [`nw_bench::obs::SUBCOMMANDS`] appears with its one-line
+/// description, so a subcommand can never be added without surfacing in
+/// both indexes.
+#[test]
+fn help_and_list_cover_every_subcommand() {
+    let exe = env!("CARGO_BIN_EXE_expt");
+    let help = Command::new(exe).arg("--help").output().expect("spawns");
+    assert!(help.status.success(), "expt --help must exit 0: {help:?}");
+    let help_out = String::from_utf8_lossy(&help.stdout);
+    let list = Command::new(exe).arg("list").output().expect("spawns");
+    assert!(list.status.success(), "expt list must exit 0: {list:?}");
+    let list_out = String::from_utf8_lossy(&list.stdout);
+    for (name, what) in nw_bench::obs::SUBCOMMANDS {
+        assert!(
+            !what.trim().is_empty(),
+            "subcommand {name} needs a description"
+        );
+        for (label, out) in [("--help", &help_out), ("list", &list_out)] {
+            let shown = out.lines().any(|l| {
+                let t = l.trim_start();
+                t.starts_with(name) && t.contains(what)
+            });
+            assert!(
+                shown,
+                "expt {label} must show {name} with its description: {out}"
+            );
+        }
+    }
+    assert!(
+        help_out.contains("usage: expt"),
+        "help leads with usage: {help_out}"
+    );
+}
+
+/// `expt trace` end to end: runs the mix scenario, writes a file, and the
+/// written JSON passes the Chrome-trace validator — parseable, timestamps
+/// monotone non-decreasing, every B paired with an E.
+#[test]
+fn expt_trace_writes_valid_chrome_trace_json() {
+    let exe = env!("CARGO_BIN_EXE_expt");
+    let out_path =
+        std::env::temp_dir().join(format!("expt_trace_smoke_{}.json", std::process::id()));
+    let out = Command::new(exe)
+        .args([
+            "trace",
+            "--scenario",
+            "mix",
+            "--cycles",
+            "20000",
+            "--out",
+            out_path.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("spawns");
+    assert!(
+        out.status.success(),
+        "expt trace must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("TRACE  mix"), "summary line: {stdout}");
+    assert!(stdout.contains("NoC heatmap"), "heatmap table: {stdout}");
+    let json = std::fs::read_to_string(&out_path).expect("trace file written");
+    let _ = std::fs::remove_file(&out_path);
+    let check = nanowall::validate_chrome_trace(&json).expect("written trace passes the validator");
+    assert!(check.events > 0, "trace must carry events");
+    assert!(
+        check.spans > 0 && check.instants > 0,
+        "mix trace has both spans and instants: {check:?}"
+    );
+
+    // Bad invocations are usage errors, not panics.
+    let bad = Command::new(exe)
+        .args(["trace", "--scenario", "nope"])
+        .output()
+        .expect("spawns");
+    assert_eq!(bad.status.code(), Some(2), "unknown scenario is an error");
+    let unknown = Command::new(exe)
+        .args(["trace", "--frobnicate"])
+        .output()
+        .expect("spawns");
+    assert_eq!(unknown.status.code(), Some(2), "unknown flag is an error");
+}
+
 /// The installed binary itself: `expt --fast t1` exits 0 and prints the
 /// table; bad ids and empty invocations exit non-zero.
 #[test]

@@ -70,6 +70,14 @@ pub use report::{ObjectLatency, PlatformReport};
 pub use runtime::{InstallError, ServiceBinding};
 pub use scenarios::{ScenarioRegistry, ScenarioRig, ScenarioSpec};
 
+/// Observability re-exports: the sim-domain trace taxonomy/sinks and the
+/// host-domain phase profiler consumed through
+/// [`FppaPlatform::set_trace_sink`] / [`FppaPlatform::set_host_profiler`].
+pub use nw_obs::{
+    export_chrome_trace, validate_chrome_trace, HostPhase, HostProfiler, NocHeatmap, PhaseSlice,
+    ProfileReport, RingBufferSink, TraceEvent, TraceSink,
+};
+
 /// The convenient single import for examples and experiments.
 pub mod prelude {
     pub use crate::{FppaConfig, FppaPlatform, NodeRole, PlatformReport, SchedulerMode};

@@ -23,6 +23,7 @@ use nw_fabric::Efpga;
 use nw_hwip::{HwIpBlock, IoChannel};
 use nw_mem::{MemRequest, MemoryController, MemorySpec, ReqKind};
 use nw_noc::{Noc, PayloadPool, Topology};
+use nw_obs::{HostPhase, HostProfiler, NocHeatmap, TraceEvent, TraceSink};
 use nw_pe::{Pe, PeRequest};
 use nw_sim::{Clock, Clocked, LatencyHistogram};
 use nw_types::{AreaMm2, Cycles, NodeId, ObjectId, PeId, Picojoules};
@@ -174,6 +175,16 @@ pub struct FppaPlatform {
     latency_deadlines: Vec<Option<u64>>,
     /// Recorded round trips that exceeded the object's deadline budget.
     deadline_misses: Vec<u64>,
+    /// Sim-domain trace sink (see [`FppaPlatform::set_trace_sink`]). A pure
+    /// observer: events are derived from simulation state and never fed
+    /// back, so traced runs are bit-identical to untraced ones (pinned by
+    /// the scheduler differential suite). `None` costs one branch per
+    /// emission site.
+    obs_sink: Option<Box<dyn TraceSink>>,
+    /// Host-side wall-clock phase profiler (see
+    /// [`FppaPlatform::set_host_profiler`]). Host-domain only — its
+    /// readings never influence simulation state.
+    profiler: Option<HostProfiler>,
 }
 
 impl FppaPlatform {
@@ -284,7 +295,57 @@ impl FppaPlatform {
             object_latency: Vec::new(),
             latency_deadlines: Vec::new(),
             deadline_misses: Vec::new(),
+            obs_sink: None,
+            profiler: None,
         })
+    }
+
+    /// Installs a trace sink: from now on the platform reports packet
+    /// injections/deliveries, link transfers, handler dispatch/retire,
+    /// deadline misses and fast-forward hops to it, and the NoC starts its
+    /// heatmap accounting. Tracing is pure observation — a traced run
+    /// produces bit-identical reports to an untraced one.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.noc.enable_obs();
+        for pe in &mut self.pes {
+            pe.set_retire_log(true);
+        }
+        self.obs_sink = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink (retire logging stops;
+    /// NoC heatmap counters keep accumulating once enabled).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        for pe in &mut self.pes {
+            pe.set_retire_log(false);
+        }
+        self.obs_sink.take()
+    }
+
+    /// The NoC contention heatmap up to the current cycle (`None` unless a
+    /// trace sink was installed at some point).
+    pub fn noc_heatmap(&self) -> Option<NocHeatmap> {
+        self.noc.heatmap(self.clock.now())
+    }
+
+    /// Installs a host-side phase profiler; [`FppaPlatform::run`] arms it,
+    /// laps it at every phase boundary, and pauses it on return.
+    pub fn set_host_profiler(&mut self, profiler: HostProfiler) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Removes and returns the host profiler (read it with
+    /// [`HostProfiler::report`]).
+    pub fn take_host_profiler(&mut self) -> Option<HostProfiler> {
+        self.profiler.take()
+    }
+
+    /// Closes the host-profiler phase that just finished, if profiling.
+    #[inline]
+    fn prof_lap(&mut self, phase: HostPhase) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.lap(phase);
+        }
     }
 
     /// The scheduler in use.
@@ -474,6 +535,9 @@ impl FppaPlatform {
     /// arithmetic, so results stay bit-identical to the dense scheduler.
     pub fn run(&mut self, cycles: u64) -> PlatformReport {
         let start = self.clock.now();
+        if let Some(p) = self.profiler.as_mut() {
+            p.arm();
+        }
         match self.scheduler {
             SchedulerMode::Dense => {
                 for _ in 0..cycles {
@@ -483,14 +547,32 @@ impl FppaPlatform {
             SchedulerMode::ActiveSet => {
                 let end = Cycles(start.0 + cycles);
                 while self.clock.now() < end {
+                    // The quiet-span probe itself has no phase: its cost
+                    // folds into the lap of whichever phase ends next
+                    // (FastForward on a hop, IoPacing on a normal step).
                     match self.quiet_span() {
-                        Some(pe_span) => self.span_hop(end, pe_span),
+                        Some(pe_span) => {
+                            let before = self.clock.now();
+                            self.span_hop(end, pe_span);
+                            if let Some(s) = self.obs_sink.as_deref_mut() {
+                                s.emit(TraceEvent::FastForward {
+                                    cycle: before.0,
+                                    span: self.clock.now().0 - before.0,
+                                });
+                            }
+                            self.prof_lap(HostPhase::FastForward);
+                        }
                         None => self.step_active(),
                     }
                 }
             }
         }
-        self.report(self.clock.now().saturating_sub(start))
+        let report = self.report(self.clock.now().saturating_sub(start));
+        self.prof_lap(HostPhase::Settle);
+        if let Some(p) = self.profiler.as_mut() {
+            p.pause();
+        }
+        report
     }
 
     /// Advances the platform by one cycle under the configured scheduler.
@@ -510,27 +592,35 @@ impl FppaPlatform {
             self.ios[i].tick(now);
         }
         self.io_ingress(now);
+        self.prof_lap(HostPhase::IoPacing);
 
         // 2. The interconnect.
-        self.noc.tick(now);
+        self.noc.tick_traced(now, self.obs_sink.as_deref_mut());
+        self.prof_lap(HostPhase::NocTick);
 
         // 3. Route arrivals.
         self.route_arrivals(now);
+        self.prof_lap(HostPhase::RouteArrivals);
 
         // 4. Service nodes: memories, fabrics, hardwired IP.
         self.tick_services(now, false);
+        self.prof_lap(HostPhase::Services);
 
         // 5. DSOC drives and dispatch.
         self.runtime_dispatch(now);
+        self.prof_lap(HostPhase::Dispatch);
 
         // 6. PEs execute; their requests become packets.
         for i in 0..self.pes.len() {
             self.pes[i].tick(now);
         }
+        self.drain_retirements(now);
         self.collect_pe_requests(now);
+        self.prof_lap(HostPhase::PeStep);
 
         // 7. Flush the injection retry queue.
         self.flush_outbox(now);
+        self.prof_lap(HostPhase::Outbox);
 
         self.clock.advance();
     }
@@ -549,25 +639,30 @@ impl FppaPlatform {
             self.ios[i].tick(now);
         }
         self.io_ingress(now);
+        self.prof_lap(HostPhase::IoPacing);
 
         // 2. The interconnect, when an arrival, router wake or ready NI
         //    head is actually due this cycle. A loaded-but-stalled fabric
         //    (every queued packet waiting out multi-cycle link occupancy)
         //    is skipped entirely — the tick would be a no-op.
         if self.noc.due_now(now) {
-            self.noc.tick(now);
+            self.noc.tick_traced(now, self.obs_sink.as_deref_mut());
         }
+        self.prof_lap(HostPhase::NocTick);
 
         // 3. Route arrivals, when a delivered packet awaits ejection.
         if self.noc.eject_pending() > 0 {
             self.route_arrivals(now);
         }
+        self.prof_lap(HostPhase::RouteArrivals);
 
         // 4. Service nodes with work (busy pipelines or parked retries).
         self.tick_services(now, true);
+        self.prof_lap(HostPhase::Services);
 
         // 5. DSOC drives and dispatch.
         self.runtime_dispatch(now);
+        self.prof_lap(HostPhase::Dispatch);
 
         // 6. Active PEs execute; dormant ones keep sleeping and settle
         //    their accounting in bulk when they wake or at report time.
@@ -577,14 +672,39 @@ impl FppaPlatform {
                 self.pe_active[p] = self.pes[p].is_live();
             }
         }
+        self.drain_retirements(now);
         self.collect_pe_requests(now);
+        self.prof_lap(HostPhase::PeStep);
 
         // 7. Flush the injection retry queue.
         if !self.outbox.is_empty() {
             self.flush_outbox(now);
         }
+        self.prof_lap(HostPhase::Outbox);
 
         self.clock.advance();
+    }
+
+    /// Reports handler retirements to the trace sink. Retire logs are only
+    /// recorded while a sink is installed, so this is a no-op otherwise; a
+    /// PE skipped by the active-set scheduler cannot have retired anything
+    /// since its last tick, so visiting every PE is exact under both
+    /// schedulers.
+    fn drain_retirements(&mut self, now: Cycles) {
+        if self.obs_sink.is_none() {
+            return;
+        }
+        for p in 0..self.pes.len() {
+            for tid in self.pes[p].take_retired() {
+                if let Some(s) = self.obs_sink.as_deref_mut() {
+                    s.emit(TraceEvent::HandlerEnd {
+                        cycle: now.0,
+                        pe: p,
+                        thread: tid.0,
+                    });
+                }
+            }
+        }
     }
 
     /// Whether the upcoming span of cycles is provably skippable, and for
@@ -806,9 +926,18 @@ impl FppaPlatform {
             while self.noc.ni_free(io_node) > 0 {
                 let Some(_seq) = io.take_rx() else { break };
                 let (dst, data) = rt.ingress_invocation(i, &mut self.pool);
+                let bytes = data.len();
                 self.noc
                     .try_inject(io_node, dst, data, 0, now)
                     .expect("ni_free was checked");
+                if let Some(s) = self.obs_sink.as_deref_mut() {
+                    s.emit(TraceEvent::FlitInject {
+                        cycle: now.0,
+                        src: io_node.0,
+                        dst: dst.0,
+                        bytes,
+                    });
+                }
             }
         }
     }
@@ -971,6 +1100,14 @@ impl FppaPlatform {
             if let Some(budget) = self.latency_deadlines[obj.0] {
                 if latency.0 > budget {
                     self.deadline_misses[obj.0] += 1;
+                    if let Some(s) = self.obs_sink.as_deref_mut() {
+                        s.emit(TraceEvent::DeadlineMiss {
+                            cycle: now.0,
+                            object: obj.0,
+                            latency: latency.0,
+                            budget,
+                        });
+                    }
                 }
             }
         }
@@ -992,7 +1129,13 @@ impl FppaPlatform {
             return;
         };
         rt.drive(now);
-        rt.dispatch(&mut self.pes, now, &mut self.pe_active, &mut self.pool);
+        rt.dispatch(
+            &mut self.pes,
+            now,
+            &mut self.pe_active,
+            &mut self.pool,
+            self.obs_sink.as_deref_mut(),
+        );
         self.runtime = Some(rt);
     }
 
@@ -1089,9 +1232,18 @@ impl FppaPlatform {
                 remaining.push_back(out);
                 continue;
             }
+            let bytes = out.data.len();
             self.noc
                 .try_inject(out.src, out.dst, out.data, out.tag, now)
                 .expect("NI space was checked and platform nodes are valid");
+            if let Some(s) = self.obs_sink.as_deref_mut() {
+                s.emit(TraceEvent::FlitInject {
+                    cycle: now.0,
+                    src: out.src.0,
+                    dst: out.dst.0,
+                    bytes,
+                });
+            }
             if let Some((pe, tid)) = out.on_accept {
                 // Data-driven wake: the NI accepted the async send.
                 self.pe_active[pe.0] = true;

@@ -18,6 +18,7 @@
 use crate::tags::RequestTag;
 use nw_dsoc::{Application, Broker, Domain, Message, MessageKind, MessageView, MethodId};
 use nw_noc::{Packet, PayloadPool};
+use nw_obs::{TraceEvent, TraceSink};
 use nw_pe::{KernelDomain, Op, Pe, Program};
 use nw_types::{Cycles, NodeId, ObjectId};
 use std::collections::{BTreeMap, VecDeque};
@@ -455,6 +456,7 @@ impl Runtime {
         now: Cycles,
         woken: &mut [bool],
         pool: &mut PayloadPool,
+        mut sink: Option<&mut (dyn TraceSink + '_)>,
     ) {
         if self.pending_total > 0 {
             for (p, pe) in pes.iter_mut().enumerate() {
@@ -470,6 +472,14 @@ impl Runtime {
                     let prog = self.synthesize(&inv, pool);
                     let tid = pe.spawn(prog).expect("idle thread count was checked");
                     self.note_spawn(p, tid, inv.object);
+                    if let Some(s) = sink.as_deref_mut() {
+                        s.emit(TraceEvent::HandlerStart {
+                            cycle: now.0,
+                            pe: p,
+                            thread: tid.0,
+                            object: inv.object.0,
+                        });
+                    }
                     woken[p] = true;
                     self.dispatched += 1;
                     self.dispatched_per_object[inv.object.0] += 1;
@@ -497,6 +507,14 @@ impl Runtime {
                 );
                 let tid = pes[pe].spawn(prog).expect("idle thread count was checked");
                 self.note_spawn(pe, tid, object);
+                if let Some(s) = sink.as_deref_mut() {
+                    s.emit(TraceEvent::HandlerStart {
+                        cycle: now.0,
+                        pe,
+                        thread: tid.0,
+                        object: object.0,
+                    });
+                }
                 self.dispatched += 1;
                 self.dispatched_per_object[object.0] += 1;
             }

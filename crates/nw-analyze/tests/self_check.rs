@@ -48,3 +48,24 @@ fn workspace_exemptions_are_exercised() {
         report.allowlisted
     );
 }
+
+#[test]
+fn profiler_wall_clock_is_allowlisted_not_invisible() {
+    // nw-obs's host profiler reads `Instant::now` by design — wall-clock is
+    // its measurand. That must surface as *allowlisted* ND02 findings (the
+    // auditor sees the sites; the grant in nw-analyze.allow justifies
+    // them), never as silence: if the allowlisted count here drops, either
+    // the profiler moved (update the allowlist path) or the scanner
+    // stopped seeing nw-obs at all.
+    let report = nw_analyze::analyze(workspace_root()).expect("workspace tree is readable");
+    assert!(
+        report.is_clean(),
+        "profiler wall-clock must be covered by the allowlist:\n{}",
+        report.render()
+    );
+    assert!(
+        report.allowlisted >= 4,
+        "expected the nw-obs ND02 sites on top of the ND01 grant, got {}",
+        report.allowlisted
+    );
+}

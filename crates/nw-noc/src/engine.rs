@@ -18,6 +18,7 @@
 
 use crate::packet::{Packet, PacketId};
 use crate::topology::Topology;
+use nw_obs::{LinkLoad, NocHeatmap, RouterLoad, TraceEvent, TraceSink};
 use nw_sim::{Clocked, Counter, EventQueue, Histogram};
 use nw_types::{Cycles, NodeId};
 use std::collections::{BTreeSet, VecDeque};
@@ -98,6 +99,35 @@ struct RouterState {
 struct Arrival {
     router: usize,
     packet: Packet,
+}
+
+/// Per-link load accumulators (indexed like the router's ports).
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkCounter {
+    busy_cycles: u64,
+    packets: u64,
+    flits: u64,
+}
+
+/// Per-router occupancy accumulators. The queue integral is event-driven:
+/// settled (occupancy x elapsed added) immediately before every `queued`
+/// mutation, so it is exact under fast-forwarding schedulers that never
+/// visit the skipped cycles.
+#[derive(Debug, Clone, Copy, Default)]
+struct RouterCounter {
+    queue_integral: u64,
+    last_settle: u64,
+    peak_queue: usize,
+    delivered: u64,
+}
+
+/// Opt-in heatmap accounting, one slot per router. `None` until
+/// [`Noc::enable_obs`] — the disabled cost on every hot path is a single
+/// `Option` branch.
+#[derive(Debug)]
+struct ObsCounters {
+    links: Vec<Vec<LinkCounter>>,
+    routers: Vec<RouterCounter>,
 }
 
 /// Aggregate NoC statistics.
@@ -200,6 +230,8 @@ pub struct Noc {
     /// Number of `true` entries in `ni_ready` — `drain_ni`'s gate and the
     /// NI contribution to `next_event_cycle`.
     ni_ready_count: usize,
+    /// Heatmap accounting, present only after [`Noc::enable_obs`].
+    obs: Option<ObsCounters>,
 }
 
 impl Noc {
@@ -267,7 +299,77 @@ impl Noc {
             ready: BTreeSet::new(),
             ni_ready: vec![false; n_endpoints],
             ni_ready_count: 0,
+            obs: None,
         }
+    }
+
+    /// Turns on per-link utilization and per-router queue-occupancy
+    /// accounting (counters start at zero from the current state). Pure
+    /// observation: enabling it changes no routing or timing decision.
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(ObsCounters {
+                links: self
+                    .routers
+                    .iter()
+                    .map(|r| vec![LinkCounter::default(); r.ports.len()])
+                    .collect(),
+                routers: vec![RouterCounter::default(); self.routers.len()],
+            });
+        }
+    }
+
+    /// Settles router `r`'s queue-occupancy integral up to `now`. Must run
+    /// before every mutation of `routers[r].queued` so each occupancy level
+    /// is weighted by exactly the cycles it persisted.
+    #[inline]
+    fn obs_settle(&mut self, r: usize, now: u64) {
+        if let Some(obs) = self.obs.as_mut() {
+            let c = &mut obs.routers[r];
+            c.queue_integral += self.routers[r].queued as u64 * (now - c.last_settle);
+            c.last_settle = now;
+        }
+    }
+
+    /// Snapshot of the heatmap counters, with every router's occupancy
+    /// integral extended to `now`. `None` until [`Noc::enable_obs`].
+    pub fn heatmap(&self, now: Cycles) -> Option<NocHeatmap> {
+        let obs = self.obs.as_ref()?;
+        let mut links = Vec::new();
+        for (r, ports) in obs.links.iter().enumerate() {
+            for (p, c) in ports.iter().enumerate() {
+                if c.packets > 0 {
+                    links.push(LinkLoad {
+                        router: r,
+                        port: p,
+                        to: self.routers[r].ports[p].to,
+                        busy_cycles: c.busy_cycles,
+                        packets: c.packets,
+                        flits: c.flits,
+                    });
+                }
+            }
+        }
+        let routers = obs
+            .routers
+            .iter()
+            .enumerate()
+            .filter_map(|(r, c)| {
+                let pending = self.routers[r].queued as u64 * now.0.saturating_sub(c.last_settle);
+                let integral = c.queue_integral + pending;
+                (integral > 0 || c.delivered > 0).then_some(RouterLoad {
+                    router: r,
+                    queue_integral: integral,
+                    peak_queue: c.peak_queue,
+                    delivered: c.delivered,
+                })
+            })
+            .collect();
+        Some(NocHeatmap {
+            window: now.0,
+            links,
+            routers,
+        })
     }
 
     /// The topology this engine runs on.
@@ -445,9 +547,27 @@ impl Noc {
             && self.eject_pending == 0
     }
 
-    fn deliver(&mut self, router: usize, packet: Packet, now: Cycles) {
+    fn deliver(
+        &mut self,
+        router: usize,
+        packet: Packet,
+        now: Cycles,
+        sink: &mut Option<&mut (dyn TraceSink + '_)>,
+    ) {
         self.delivered.incr();
-        self.latency.record(now.saturating_sub(packet.injected_at));
+        let lat = now.saturating_sub(packet.injected_at);
+        self.latency.record(lat);
+        if let Some(s) = sink.as_deref_mut() {
+            s.emit(TraceEvent::FlitDeliver {
+                cycle: now.0,
+                src: packet.src.0,
+                dst: packet.dst.0,
+                latency: lat.0,
+            });
+        }
+        if let Some(obs) = self.obs.as_mut() {
+            obs.routers[router].delivered += 1;
+        }
         self.routers[router].eject.push_back(packet);
         self.eject_pending += 1;
     }
@@ -491,7 +611,7 @@ impl Noc {
         }
     }
 
-    fn drain_arrivals(&mut self, now: Cycles) {
+    fn drain_arrivals(&mut self, now: Cycles, sink: &mut Option<&mut (dyn TraceSink + '_)>) {
         while let Some(Arrival { router, packet }) = self.arrivals.pop_due(now) {
             if packet.dst.0 == router {
                 // Destination reached: free the buffer slot and eject. The
@@ -502,22 +622,27 @@ impl Noc {
                     self.wake_preds(router, now.0);
                 }
                 self.ni_credit_check(router);
-                self.deliver(router, packet, now);
+                self.deliver(router, packet, now, sink);
             } else {
                 let port = self
                     .topo
                     .next_hop(router, packet.dst.0)
                     .expect("non-destination router must have a next hop");
                 // The packet keeps its reserved buffer slot while queued.
+                self.obs_settle(router, now.0);
                 self.routers[router].ports[port].queue.push_back(packet);
                 self.routers[router].queued += 1;
                 self.queued_total += 1;
+                if let Some(obs) = self.obs.as_mut() {
+                    let c = &mut obs.routers[router];
+                    c.peak_queue = c.peak_queue.max(self.routers[router].queued);
+                }
                 self.schedule_wake(router, now.0);
             }
         }
     }
 
-    fn drain_ni(&mut self, now: Cycles) {
+    fn drain_ni(&mut self, now: Cycles, sink: &mut Option<&mut (dyn TraceSink + '_)>) {
         // Quiescent-NI skip: no endpoint holds a head that can progress —
         // every queued head is remote and bubble-blocked, which only a
         // tracked credit event can change, so the scan would be all no-ops.
@@ -533,7 +658,7 @@ impl Noc {
                     // Local delivery bypasses the fabric entirely.
                     let p = self.routers[r].ni_in.pop_front().expect("checked front");
                     self.ni_pending -= 1;
-                    self.deliver(r, p, now);
+                    self.deliver(r, p, now, sink);
                     continue;
                 }
                 // Bubble rule: entering traffic must leave one slot free.
@@ -547,9 +672,14 @@ impl Noc {
                     .next_hop(r, p.dst.0)
                     .expect("remote destination must have a next hop");
                 self.routers[r].input_free -= 1;
+                self.obs_settle(r, now.0);
                 self.routers[r].ports[port].queue.push_back(p);
                 self.routers[r].queued += 1;
                 self.queued_total += 1;
+                if let Some(obs) = self.obs.as_mut() {
+                    let c = &mut obs.routers[r];
+                    c.peak_queue = c.peak_queue.max(self.routers[r].queued);
+                }
                 self.schedule_wake(r, now.0);
             }
             // The loop runs until this NI is empty or bubble-blocked;
@@ -566,11 +696,19 @@ impl Noc {
     /// frees at `r` is visible to higher-indexed routers in the same
     /// dense scan, so same-cycle predecessor wakes above `r` join the
     /// current pass while the rest wait for the next cycle.
-    fn fire(&mut self, r: usize, p: usize, now: Cycles, pass: &mut BTreeSet<usize>) {
+    fn fire(
+        &mut self,
+        r: usize,
+        p: usize,
+        now: Cycles,
+        pass: &mut BTreeSet<usize>,
+        sink: &mut Option<&mut (dyn TraceSink + '_)>,
+    ) {
         debug_assert!(self.routers[r].queued > 0, "fire on a quiescent router");
+        self.obs_settle(r, now.0);
         self.routers[r].queued -= 1;
         self.queued_total -= 1;
-        let (packet, to, ser, wire_lat) = {
+        let (packet, to, ser, wire_lat, flits) = {
             let port = &mut self.routers[r].ports[p];
             let packet = port.queue.pop_front().expect("caller checked non-empty");
             let flits = packet.flits(self.cfg.flit_bytes);
@@ -586,8 +724,24 @@ impl Noc {
             );
             port.busy_until = now.0 + ser;
             self.flit_hops.add(flits);
-            (packet, port.to, ser, port.latency)
+            (packet, port.to, ser, port.latency, flits)
         };
+        if let Some(obs) = self.obs.as_mut() {
+            let c = &mut obs.links[r][p];
+            c.busy_cycles += ser;
+            c.packets += 1;
+            c.flits += flits;
+        }
+        if let Some(s) = sink.as_deref_mut() {
+            s.emit(TraceEvent::LinkTransfer {
+                cycle: now.0,
+                router: r,
+                port: p,
+                to,
+                flits,
+                ser,
+            });
+        }
         // Cut-through: the slot at r frees as transmission starts, the slot
         // downstream was reserved by the caller.
         self.routers[r].input_free += 1;
@@ -615,7 +769,13 @@ impl Noc {
     /// could fire later (port serialization, shared-medium occupancy).
     /// Credit-blocked ports schedule nothing — the fire or delivery that
     /// frees the buffer wakes this router through `wake_preds`.
-    fn visit_router(&mut self, r: usize, now: Cycles, pass: &mut BTreeSet<usize>) {
+    fn visit_router(
+        &mut self,
+        r: usize,
+        now: Cycles,
+        pass: &mut BTreeSet<usize>,
+        sink: &mut Option<&mut (dyn TraceSink + '_)>,
+    ) {
         if self.routers[r].queued == 0 {
             return; // spurious wake: the queue drained before we got here
         }
@@ -636,7 +796,7 @@ impl Noc {
                 if ready {
                     let to = self.routers[r].ports[p].to;
                     self.routers[to].input_free -= 1;
-                    self.fire(r, p, now, pass);
+                    self.fire(r, p, now, pass, sink);
                     self.routers[r].shared_busy_until = self.routers[r].ports[p].busy_until;
                     self.routers[r].rr_next = (p + 1) % nports;
                     if self.routers[r].queued > 0 {
@@ -660,7 +820,7 @@ impl Noc {
                     continue;
                 }
                 self.routers[to].input_free -= 1;
-                self.fire(r, p, now, pass);
+                self.fire(r, p, now, pass, sink);
                 if !self.routers[r].ports[p].queue.is_empty() {
                     // More packets behind the one now serializing.
                     self.schedule_wake(r, self.routers[r].ports[p].busy_until);
@@ -674,7 +834,12 @@ impl Noc {
     /// the event wheel or a same-cycle push woke. Both orders are the
     /// ascending router-index order, so credit contention resolves
     /// identically and the two paths are bit-identical.
-    fn transmit(&mut self, now: Cycles, full_scan: bool) {
+    fn transmit(
+        &mut self,
+        now: Cycles,
+        full_scan: bool,
+        sink: &mut Option<&mut (dyn TraceSink + '_)>,
+    ) {
         let mut pass = std::mem::take(&mut self.ready);
         while let Some(r) = self.wakes.pop_due(now) {
             self.wake_at[r] = u64::MAX;
@@ -691,11 +856,24 @@ impl Noc {
         }
         if self.queued_total > 0 {
             while let Some(r) = pass.pop_first() {
-                self.visit_router(r, now, &mut pass);
+                self.visit_router(r, now, &mut pass, sink);
             }
         }
         pass.clear();
         self.ready = pass;
+    }
+
+    /// One engine tick with an optional trace sink: identical to
+    /// [`Clocked::tick`] (which delegates here with `None`), but packet
+    /// deliveries and link transfers are reported to `sink` as they
+    /// happen. The sink is write-only — nothing it does can change
+    /// routing, timing, or statistics.
+    pub fn tick_traced(&mut self, now: Cycles, mut sink: Option<&mut (dyn TraceSink + '_)>) {
+        self.drain_arrivals(now, &mut sink);
+        self.drain_ni(now, &mut sink);
+        self.transmit(now, false, &mut sink);
+        #[cfg(debug_assertions)]
+        self.debug_audit(now);
     }
 
     /// The dense reference tick: identical phase order to [`Noc::tick`],
@@ -703,9 +881,10 @@ impl Noc {
     /// instead of consulting the event wheel. Kept for differential
     /// testing — the event-driven path must be bit-identical to this.
     pub fn tick_reference(&mut self, now: Cycles) {
-        self.drain_arrivals(now);
-        self.drain_ni(now);
-        self.transmit(now, true);
+        let mut sink: Option<&mut (dyn TraceSink + '_)> = None;
+        self.drain_arrivals(now, &mut sink);
+        self.drain_ni(now, &mut sink);
+        self.transmit(now, true, &mut sink);
         #[cfg(debug_assertions)]
         self.debug_audit(now);
     }
@@ -748,11 +927,7 @@ impl Noc {
 
 impl Clocked for Noc {
     fn tick(&mut self, now: Cycles) {
-        self.drain_arrivals(now);
-        self.drain_ni(now);
-        self.transmit(now, false);
-        #[cfg(debug_assertions)]
-        self.debug_audit(now);
+        self.tick_traced(now, None);
     }
 }
 

@@ -1,0 +1,162 @@
+//! Per-link utilization and per-router queue-occupancy heatmaps.
+//!
+//! The NoC engine maintains these counters event-driven (updated when a
+//! transfer fires or a queue length changes, never by per-cycle sampling),
+//! so they are exact under both schedulers — a fast-forwarded span
+//! contributes the same occupancy-x-time as the dense scheduler stepping
+//! through it.
+
+use std::fmt::Write as _;
+
+/// Load on one directed link (router output port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkLoad {
+    /// Upstream router.
+    pub router: usize,
+    /// Output port index at that router.
+    pub port: usize,
+    /// Downstream router.
+    pub to: usize,
+    /// Cycles the link spent serializing packets.
+    pub busy_cycles: u64,
+    /// Packets transported.
+    pub packets: u64,
+    /// Flits transported.
+    pub flits: u64,
+}
+
+impl LinkLoad {
+    /// Busy cycles over the observation window (0.0 for an empty window).
+    pub fn utilization(&self, window: u64) -> f64 {
+        if window == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / window as f64
+        }
+    }
+}
+
+/// Queueing pressure at one router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterLoad {
+    /// Router index.
+    pub router: usize,
+    /// Time integral of the output-queue length (packet-cycles): mean
+    /// occupancy is `queue_integral / window`.
+    pub queue_integral: u64,
+    /// Peak output-queue length observed.
+    pub peak_queue: usize,
+    /// Packets delivered to this router's local endpoint.
+    pub delivered: u64,
+}
+
+impl RouterLoad {
+    /// Mean queued packets over the observation window.
+    pub fn mean_queue(&self, window: u64) -> f64 {
+        if window == 0 {
+            0.0
+        } else {
+            self.queue_integral as f64 / window as f64
+        }
+    }
+}
+
+/// The full contention picture of one traced run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NocHeatmap {
+    /// Observation window in cycles (trace start to capture).
+    pub window: u64,
+    /// Every link with any recorded traffic, in (router, port) order.
+    pub links: Vec<LinkLoad>,
+    /// Every router with any recorded queueing or delivery, in index order.
+    pub routers: Vec<RouterLoad>,
+}
+
+impl NocHeatmap {
+    /// Renders the `top` busiest links and most-queued routers as a
+    /// human-readable table (hot-spot triage for the raw-speed work).
+    pub fn render(&self, top: usize) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "NoC heatmap over {} cycles", self.window);
+        let mut links = self.links.clone();
+        links.sort_by(|a, b| {
+            b.busy_cycles
+                .cmp(&a.busy_cycles)
+                .then(a.router.cmp(&b.router))
+        });
+        let _ = writeln!(s, "  busiest links (router.port -> to):");
+        for l in links.iter().take(top) {
+            let _ = writeln!(
+                s,
+                "    r{}.p{} -> r{}  {:>5.1}% busy  {} pkts  {} flits",
+                l.router,
+                l.port,
+                l.to,
+                l.utilization(self.window) * 100.0,
+                l.packets,
+                l.flits
+            );
+        }
+        let mut routers = self.routers.clone();
+        routers.sort_by(|a, b| {
+            b.queue_integral
+                .cmp(&a.queue_integral)
+                .then(a.router.cmp(&b.router))
+        });
+        let _ = writeln!(s, "  most-queued routers:");
+        for r in routers.iter().take(top) {
+            let _ = writeln!(
+                s,
+                "    r{}  mean queue {:.2}  peak {}  delivered {}",
+                r.router,
+                r.mean_queue(self.window),
+                r.peak_queue,
+                r.delivered
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_orders_by_load() {
+        let h = NocHeatmap {
+            window: 100,
+            links: vec![
+                LinkLoad {
+                    router: 0,
+                    port: 0,
+                    to: 1,
+                    busy_cycles: 10,
+                    packets: 2,
+                    flits: 8,
+                },
+                LinkLoad {
+                    router: 3,
+                    port: 1,
+                    to: 2,
+                    busy_cycles: 90,
+                    packets: 9,
+                    flits: 90,
+                },
+            ],
+            routers: vec![RouterLoad {
+                router: 2,
+                queue_integral: 250,
+                peak_queue: 5,
+                delivered: 9,
+            }],
+        };
+        let out = h.render(10);
+        let hot = out.find("r3.p1").expect("hot link listed");
+        let cold = out.find("r0.p0").expect("cold link listed");
+        assert!(hot < cold, "busiest link first:\n{out}");
+        assert!(out.contains("mean queue 2.50"), "{out}");
+        assert_eq!(h.links[1].utilization(100), 0.9);
+        assert_eq!(h.links[1].utilization(0), 0.0);
+    }
+}

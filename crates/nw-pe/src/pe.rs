@@ -173,6 +173,10 @@ pub struct Pe {
     /// bulk — with identical counter arithmetic — on the next tick or via
     /// [`Pe::settle_accounting`].
     accounted_to: u64,
+    /// Threads retired since the last [`Pe::take_retired`], recorded only
+    /// when enabled via [`Pe::set_retire_log`] (tracing). `None` keeps the
+    /// retire path allocation-free when no one is watching.
+    retire_log: Option<Vec<ThreadId>>,
 }
 
 impl Pe {
@@ -198,7 +202,23 @@ impl Pe {
             tasks_completed: 0,
             mem_energy: Picojoules::ZERO,
             accounted_to: 0,
+            retire_log: None,
         }
+    }
+
+    /// Enables (or disables) recording of retired thread ids for tracing.
+    /// Observation only: logging changes no scheduling or accounting.
+    pub fn set_retire_log(&mut self, on: bool) {
+        self.retire_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes the threads retired since the last call (empty when the log
+    /// is disabled or nothing retired).
+    pub fn take_retired(&mut self) -> Vec<ThreadId> {
+        self.retire_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// The configuration this PE was built with.
@@ -573,6 +593,9 @@ impl Pe {
         self.threads[i].program = None;
         self.threads[i].pc = 0;
         self.tasks_completed += 1;
+        if let Some(log) = self.retire_log.as_mut() {
+            log.push(ThreadId(i));
+        }
     }
 }
 

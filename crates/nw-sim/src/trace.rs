@@ -5,6 +5,13 @@
 //! and writes standard IEEE-1364 VCD, so platform activity (PE busy lines,
 //! queue depths, link occupancy) can be inspected in any waveform viewer.
 //!
+//! This is the *signal-level* view. For the *event-level* view — discrete
+//! cycle-stamped platform events (flit inject/deliver, handler dispatch,
+//! deadline misses) captured through a `TraceSink` and exported as Chrome
+//! trace-event / Perfetto JSON (`expt trace`) — see the `nw-obs` crate,
+//! which sits above the substrates and is threaded through the platform
+//! rather than through individual signals.
+//!
 //! # Examples
 //!
 //! ```

@@ -151,6 +151,41 @@ fn payload_pool_conserves_buffers_at_quiescence() {
 }
 
 #[test]
+fn tracing_does_not_perturb_results() {
+    // The observability contract: installing a trace sink changes what is
+    // *recorded*, never what is *simulated*. Every registered scenario must
+    // produce a bit-identical report with tracing on vs off, under both
+    // schedulers — and the traced run must actually capture events, so the
+    // comparison is not vacuous.
+    use nanowall::RingBufferSink;
+    for name in ScenarioRegistry::standard().names() {
+        for mode in [SchedulerMode::Dense, SchedulerMode::ActiveSet] {
+            let reg = ScenarioRegistry::standard();
+            let mut plain = reg.build(name, true).expect("registered scenario");
+            plain.platform.set_scheduler_mode(mode);
+            let mut traced = reg.build(name, true).expect("registered scenario");
+            traced.platform.set_scheduler_mode(mode);
+            traced
+                .platform
+                .set_trace_sink(Box::new(RingBufferSink::new(1 << 14)));
+            let p = plain.run(10_000);
+            let t = traced.run(10_000);
+            assert_eq!(p, t, "{name} under {mode:?}: tracing perturbed the run");
+            let mut sink = traced.platform.take_trace_sink().expect("sink installed");
+            let events = sink
+                .as_any_mut()
+                .downcast_mut::<RingBufferSink>()
+                .expect("ring sink")
+                .drain();
+            assert!(
+                !events.is_empty(),
+                "{name} under {mode:?}: traced run captured nothing"
+            );
+        }
+    }
+}
+
+#[test]
 fn next_event_cycle_never_overshoots() {
     // On an idle platform the platform-wide next event equals the earliest
     // component event; stepping to it must observe a state change while
