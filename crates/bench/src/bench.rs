@@ -464,7 +464,7 @@ pub fn run_bench(quick: bool) -> BenchReport {
         scheduler,
         sweeps,
         experiments,
-        profile: crate::obs::run_profile(quick),
+        profile: crate::obs::run_profile(quick, None),
     }
 }
 
@@ -493,6 +493,7 @@ fn synthetic_report(utilization: f64, tasks: u64) -> PlatformReport {
         mem_accesses: 0,
         fabric_served: 0,
         hwip_served: 0,
+        resilience: nanowall::ResilienceStats::default(),
     }
 }
 

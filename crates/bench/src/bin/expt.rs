@@ -10,13 +10,30 @@
 //! expt lint           # determinism audit (nw-analyze); non-zero on findings
 //! expt lint --json    # machine-readable findings for CI
 //! expt lint --rules   # the rule registry (id + one-line contract)
+//! expt faults [--quick] [--seed N]           # fault-injection parity harness
 //! expt trace --scenario mix --out mix.json   # Perfetto trace of a scenario
 //! expt profile [--quick]                     # host-side phase breakdown
 //! expt --help         # the subcommand table
 //! ```
+//!
+//! Exit codes follow one convention across every subcommand: `0` success,
+//! `1` a check failed or output could not be written (lint findings,
+//! scheduler/parity divergence, I/O errors), `2` usage (unknown
+//! subcommand/experiment/scenario, malformed flag values — including a bad
+//! `--seed`, which parses uniformly via [`obs::take_seed_flag`] wherever
+//! it is accepted: `bench`, `trace`, `profile`, `faults`).
 
 use nw_bench::experiments::{run_by_id, ALL_IDS, EXPERIMENTS};
 use nw_bench::obs;
+
+/// Parses the uniform `--seed` flag out of `args`, exiting 2 on a
+/// malformed value (the shared usage failure mode).
+fn take_seed_or_usage(args: &mut Vec<String>, subcommand: &str) -> Option<u64> {
+    obs::take_seed_flag(args).unwrap_or_else(|e| {
+        eprintln!("{subcommand}: {e}");
+        std::process::exit(2);
+    })
+}
 
 /// Prints the subcommand table (shared with `expt list` and pinned by the
 /// smoke tests).
@@ -50,7 +67,11 @@ fn print_list() {
 }
 
 /// `expt trace`: run a scenario traced, write the Perfetto JSON.
+/// `--seed N` installs a seeded fault campaign so the trace shows the
+/// fault tracks.
 fn run_trace_cmd(args: &[String]) {
+    let mut args = args.to_vec();
+    let seed = take_seed_or_usage(&mut args, "trace");
     let mut scenario = "mix".to_owned();
     let mut out = "trace.json".to_owned();
     let mut cycles: u64 = 50_000;
@@ -80,13 +101,13 @@ fn run_trace_cmd(args: &[String]) {
             }
             bad => {
                 eprintln!(
-                    "usage: expt trace [--scenario <name>] [--out <file>] [--cycles <n>] [--buffer <n>] (unknown argument: {bad})"
+                    "usage: expt trace [--scenario <name>] [--out <file>] [--cycles <n>] [--buffer <n>] [--seed <u64>] (unknown argument: {bad})"
                 );
                 std::process::exit(2);
             }
         }
     }
-    let run = obs::run_trace(&scenario, cycles, buffer).unwrap_or_else(|e| {
+    let run = obs::run_trace(&scenario, cycles, buffer, seed).unwrap_or_else(|e| {
         eprintln!("trace: {e}");
         std::process::exit(2);
     });
@@ -147,12 +168,29 @@ fn main() {
         return;
     }
     if args.first().map(String::as_str) == Some("profile") {
-        if let Some(bad) = args[1..].iter().find(|a| *a != "--quick") {
-            eprintln!("usage: expt profile [--quick] (unknown argument: {bad})");
+        let mut rest = args[1..].to_vec();
+        let seed = take_seed_or_usage(&mut rest, "profile");
+        if let Some(bad) = rest.iter().find(|a| *a != "--quick") {
+            eprintln!("usage: expt profile [--quick] [--seed <u64>] (unknown argument: {bad})");
             std::process::exit(2);
         }
-        let quick = args.iter().any(|a| a == "--quick");
-        print!("{}", obs::render_profile(&obs::run_profile(quick)));
+        let quick = rest.iter().any(|a| a == "--quick");
+        print!("{}", obs::render_profile(&obs::run_profile(quick, seed)));
+        return;
+    }
+    if args.first().map(String::as_str) == Some("faults") {
+        let mut rest = args[1..].to_vec();
+        let seed = take_seed_or_usage(&mut rest, "faults").unwrap_or(1);
+        if let Some(bad) = rest.iter().find(|a| *a != "--quick") {
+            eprintln!("usage: expt faults [--quick] [--seed <u64>] (unknown argument: {bad})");
+            std::process::exit(2);
+        }
+        let quick = rest.iter().any(|a| a == "--quick");
+        let run = nw_bench::faults::run_faults(quick, seed);
+        print!("{}", run.table);
+        if !run.ok {
+            std::process::exit(1);
+        }
         return;
     }
     if args.first().map(String::as_str) == Some("lint") {
@@ -165,6 +203,8 @@ fn main() {
         run_lint(json, rules);
         return;
     }
+    let mut args = args;
+    let seed = take_seed_or_usage(&mut args, "bench");
     let fast = args.iter().any(|a| a == "--fast");
     let quick = args.iter().any(|a| a == "--quick");
     // `--baseline <path>`: after a bench run, print a delta table against a
@@ -218,11 +258,22 @@ fn main() {
             eprintln!("bench: dense/active or serial/parallel divergence detected");
             std::process::exit(1);
         }
+        // `--seed N` extends the parity gate to faulted runs: the same
+        // scheduler/repeat bit-identity checks, under a seeded campaign
+        // (the JSON above stays fault-free and baseline-comparable).
+        if let Some(seed) = seed {
+            let faulted = nw_bench::faults::run_faults(quick || fast, seed);
+            print!("{}", faulted.table);
+            if !faulted.ok {
+                eprintln!("bench: faulted scheduler parity diverged (seed {seed})");
+                std::process::exit(1);
+            }
+        }
         return;
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: expt [--fast] <list | all | bench | lint | trace | profile | {}> (see `expt --help`)",
+            "usage: expt [--fast] <list | all | bench | lint | faults | trace | profile | {}> (see `expt --help`)",
             ALL_IDS.join(" | ")
         );
         std::process::exit(2);

@@ -10,6 +10,7 @@ pub mod f6_latency_hiding;
 pub mod f7_productivity;
 pub mod t10_crypto;
 pub mod t11_mix;
+pub mod t12_resilience;
 pub mod t1_mask_nre;
 pub mod t2_breakeven;
 pub mod t3_ipv4;
@@ -31,7 +32,7 @@ pub struct Experiment {
 }
 
 /// Every experiment in DESIGN.md order.
-pub const EXPERIMENTS: [Experiment; 18] = [
+pub const EXPERIMENTS: [Experiment; 19] = [
     Experiment {
         id: "t1",
         title: "mask-set NRE by technology node",
@@ -97,6 +98,10 @@ pub const EXPERIMENTS: [Experiment; 18] = [
         title: "mixed workloads on one fabric: per-workload latency percentiles + deadlines",
     },
     Experiment {
+        id: "t12",
+        title: "resilience grid: goodput/p99/retries/misses vs injected fault rate",
+    },
+    Experiment {
         id: "f1",
         title: "platform-continuum positioning",
     },
@@ -127,6 +132,7 @@ pub fn run_by_id(id: &str, fast: bool) -> Option<String> {
         "t9" => t9_modem::run(fast).table,
         "t10" => t10_crypto::run(fast).table,
         "t11" => t11_mix::run(fast).table,
+        "t12" => t12_resilience::run(fast).table,
         "f1" => f1_continuum::run().table,
         "f2" => f2_fppa_tour::run(fast).table,
         _ => return None,

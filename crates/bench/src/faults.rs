@@ -1,0 +1,136 @@
+//! `expt faults` — the fault-injection determinism harness.
+//!
+//! Runs every registered scenario under a seeded fault campaign twice per
+//! scheduler mode and checks the tentpole invariant from the CLI: faulted
+//! runs must be **bit-identical** across `Dense`/`ActiveSet` and across
+//! repeats of the same seed. The table shows what the campaign did to each
+//! scenario (injections, retries, give-ups, drops, goodput) next to the
+//! parity verdict; any divergence makes the harness report failure, which
+//! `expt` turns into exit 1 — the same contract `expt bench` applies to
+//! its fault-free scheduler parity rows.
+
+use crate::Table;
+use nanowall::scenarios::ScenarioRegistry;
+use nanowall::{FaultCampaign, FaultRates, PlatformReport, RetryPolicy, SchedulerMode};
+use std::fmt::Write as _;
+
+/// One scenario's faulted outcome.
+#[derive(Debug)]
+pub struct FaultRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Campaign events applied.
+    pub faults: u64,
+    /// Retries issued by the resilience layer.
+    pub retries: u64,
+    /// Calls abandoned after the attempt budget.
+    pub give_ups: u64,
+    /// Packets the NoC dropped (injected drops + disconnections).
+    pub dropped: u64,
+    /// Tasks completed despite the campaign.
+    pub tasks: u64,
+    /// Dense vs active-set reports bit-identical.
+    pub mode_parity: bool,
+    /// Same-seed repeat bit-identical.
+    pub repeat_parity: bool,
+}
+
+/// The harness outcome: rendered table plus the overall verdict.
+#[derive(Debug)]
+pub struct FaultsRun {
+    /// Per-scenario rows.
+    pub rows: Vec<FaultRow>,
+    /// Rendered stdout table.
+    pub table: String,
+    /// Every parity check passed.
+    pub ok: bool,
+}
+
+/// Runs `name` under `mode` with a seeded level-1.0 campaign and the
+/// default retry policy installed.
+fn run_faulted(name: &str, mode: SchedulerMode, seed: u64, cycles: u64) -> PlatformReport {
+    let reg = ScenarioRegistry::standard();
+    let mut rig = reg.build(name, true).expect("registered scenario");
+    rig.platform.set_scheduler_mode(mode);
+    let shape = rig.platform.fault_shape();
+    rig.platform.install_fault_campaign(FaultCampaign::generate(
+        seed,
+        cycles,
+        &FaultRates::scaled(1.0),
+        &shape,
+    ));
+    rig.platform.set_retry_policy(RetryPolicy::default());
+    rig.run(cycles)
+}
+
+/// Runs the harness over every registered scenario. `quick` shrinks the
+/// windows to CI size; `seed` picks the campaign timeline.
+pub fn run_faults(quick: bool, seed: u64) -> FaultsRun {
+    let cycles = if quick { 20_000 } else { 60_000 };
+    let rows: Vec<FaultRow> = ScenarioRegistry::standard()
+        .names()
+        .iter()
+        .map(|&name| {
+            let dense = run_faulted(name, SchedulerMode::Dense, seed, cycles);
+            let active = run_faulted(name, SchedulerMode::ActiveSet, seed, cycles);
+            let repeat = run_faulted(name, SchedulerMode::ActiveSet, seed, cycles);
+            FaultRow {
+                scenario: name.to_owned(),
+                faults: dense.resilience.faults_injected,
+                retries: dense.resilience.retries,
+                give_ups: dense.resilience.retry_give_ups,
+                dropped: dense.resilience.packets_dropped,
+                tasks: dense.tasks_completed,
+                mode_parity: dense == active,
+                repeat_parity: active == repeat,
+            }
+        })
+        .collect();
+
+    let mut t = Table::new(&[
+        "scenario", "faults", "retries", "give-ups", "dropped", "tasks", "mode", "repeat",
+    ]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.scenario.clone(),
+            r.faults.to_string(),
+            r.retries.to_string(),
+            r.give_ups.to_string(),
+            r.dropped.to_string(),
+            r.tasks.to_string(),
+            if r.mode_parity { "ok" } else { "DIVERGED" }.to_owned(),
+            if r.repeat_parity { "ok" } else { "DIVERGED" }.to_owned(),
+        ]);
+    }
+    let ok = rows.iter().all(|r| r.mode_parity && r.repeat_parity);
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "FAULTS  seed {seed}  {cycles}-cycle campaigns at level 1.0, dense vs active-set vs repeat"
+    );
+    let _ = write!(table, "{}", t.render());
+    let _ = writeln!(
+        table,
+        "parity: {}",
+        if ok { "bit-identical" } else { "DIVERGED" }
+    );
+    FaultsRun { rows, table, ok }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_harness_is_clean_and_non_vacuous() {
+        let run = run_faults(true, 1);
+        assert!(run.ok, "{}", run.table);
+        assert_eq!(run.rows.len(), ScenarioRegistry::standard().names().len());
+        assert!(
+            run.rows.iter().any(|r| r.faults > 0),
+            "campaigns must inject something:\n{}",
+            run.table
+        );
+        assert!(run.table.contains("bit-identical"), "{}", run.table);
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod bench;
 pub mod experiments;
+pub mod faults;
 pub mod obs;
 pub mod table;
 

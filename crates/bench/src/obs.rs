@@ -39,14 +39,44 @@ pub const SUBCOMMANDS: &[(&str, &str)] = &[
         "determinism audit via nw-analyze; non-zero on findings (--json, --rules)",
     ),
     (
+        "faults",
+        "fault-injection determinism harness: seeded campaigns, scheduler parity (--quick, --seed)",
+    ),
+    (
         "trace",
-        "run a scenario with tracing, write Perfetto JSON (--scenario <name> --out <file>)",
+        "run a scenario with tracing, write Perfetto JSON (--scenario <name> --out <file>, --seed injects faults)",
     ),
     (
         "profile",
-        "host-side wall-clock phase breakdown of the main loop (--quick)",
+        "host-side wall-clock phase breakdown of the main loop (--quick, --seed injects faults)",
     ),
 ];
+
+/// Extracts the uniform `--seed <u64>` flag from `args`, removing both
+/// tokens.
+///
+/// Every seed-taking subcommand (`bench`, `trace`, `profile`, `faults`)
+/// parses the flag through this one function, so the syntax and the
+/// failure mode are identical everywhere: a missing or non-`u64` value is
+/// a usage error (`expt` exits 2).
+///
+/// # Errors
+///
+/// `--seed` present without a value, or with a value that does not parse
+/// as `u64`.
+pub fn take_seed_flag(args: &mut Vec<String>) -> Result<Option<u64>, String> {
+    let Some(i) = args.iter().position(|a| a == "--seed") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err("--seed needs a value".to_owned());
+    }
+    let raw = args.remove(i + 1);
+    args.remove(i);
+    raw.parse::<u64>()
+        .map(Some)
+        .map_err(|e| format!("bad --seed {raw:?}: {e}"))
+}
 
 /// Renders the subcommand table (the body of `expt --help`).
 pub fn render_subcommands() -> String {
@@ -74,16 +104,28 @@ pub struct TraceRun {
 /// `buffer` events attached, and exports the capture as validated
 /// Chrome/Perfetto JSON.
 ///
+/// With `fault_seed`, a level-1.0 fault campaign (plus the default retry
+/// policy) is installed first, so the exported timeline carries the fault
+/// tracks — injections, retries and reroutes — alongside the traffic.
+///
 /// # Errors
 ///
 /// An unknown scenario name, or (which would be a bug) the exporter
 /// producing JSON its own validator rejects.
-pub fn run_trace(name: &str, cycles: u64, buffer: usize) -> Result<TraceRun, String> {
+pub fn run_trace(
+    name: &str,
+    cycles: u64,
+    buffer: usize,
+    fault_seed: Option<u64>,
+) -> Result<TraceRun, String> {
     let registry = ScenarioRegistry::standard();
     let mut rig = registry.build(name, true).ok_or_else(|| {
         let known: Vec<&str> = registry.specs().iter().map(|s| s.name).collect();
         format!("unknown scenario {name:?} (known: {})", known.join(", "))
     })?;
+    if let Some(seed) = fault_seed {
+        install_faults(&mut rig.platform, seed, cycles);
+    }
     rig.platform
         .set_trace_sink(Box::new(RingBufferSink::new(buffer)));
     rig.run(cycles);
@@ -123,9 +165,25 @@ pub struct ProfileEntry {
     pub report: ProfileReport,
 }
 
+/// Installs a seeded level-1.0 fault campaign plus the default retry
+/// policy — the shared "make this run faulty" setup of the seed-taking
+/// observability subcommands.
+fn install_faults(platform: &mut nanowall::FppaPlatform, seed: u64, cycles: u64) {
+    let shape = platform.fault_shape();
+    platform.install_fault_campaign(nanowall::FaultCampaign::generate(
+        seed,
+        cycles,
+        &nanowall::FaultRates::scaled(1.0),
+        &shape,
+    ));
+    platform.set_retry_policy(nanowall::RetryPolicy::default());
+}
+
 /// Profiles the scheduler main loop on representative scenario rigs.
-/// `quick` shrinks the windows to CI size.
-pub fn run_profile(quick: bool) -> Vec<ProfileEntry> {
+/// `quick` shrinks the windows to CI size. With `fault_seed`, the rigs run
+/// under a seeded campaign so the breakdown includes the fault/retry
+/// phase.
+pub fn run_profile(quick: bool, fault_seed: Option<u64>) -> Vec<ProfileEntry> {
     let win = if quick { 200_000 } else { 1_000_000 };
     let registry = ScenarioRegistry::standard();
     // One busy rig (mix: telecom + IPv4 sharing the fabric) and one
@@ -137,6 +195,9 @@ pub fn run_profile(quick: bool) -> Vec<ProfileEntry> {
             let mut rig = registry
                 .build(name, true)
                 .expect("standard registry scenario");
+            if let Some(seed) = fault_seed {
+                install_faults(&mut rig.platform, seed, cycles);
+            }
             rig.platform.set_host_profiler(HostProfiler::new());
             let t = Instant::now();
             rig.run(cycles);
@@ -186,14 +247,14 @@ mod tests {
 
     #[test]
     fn trace_rejects_unknown_scenario() {
-        let err = run_trace("no-such-scenario", 1_000, 64).unwrap_err();
+        let err = run_trace("no-such-scenario", 1_000, 64, None).unwrap_err();
         assert!(err.contains("unknown scenario"), "{err}");
         assert!(err.contains("mix"), "lists known scenarios: {err}");
     }
 
     #[test]
     fn trace_on_mix_validates_and_captures_events() {
-        let run = run_trace("mix", 20_000, 4096).expect("mix traces cleanly");
+        let run = run_trace("mix", 20_000, 4096, None).expect("mix traces cleanly");
         assert!(run.events > 0, "a loaded scenario emits events");
         assert!(run.json.contains("\"traceEvents\""));
         assert!(
@@ -205,7 +266,7 @@ mod tests {
 
     #[test]
     fn profile_attribution_covers_measured_wall_clock() {
-        let entries = run_profile(true);
+        let entries = run_profile(true, None);
         assert_eq!(entries.len(), 2);
         for e in &entries {
             // Lap-based attribution leaves no gaps between arming (run
@@ -227,6 +288,37 @@ mod tests {
             );
         }
         assert!(render_profile(&entries).contains("PROFILE  mix"));
+    }
+
+    #[test]
+    fn seed_flag_parses_uniformly() {
+        let mut none = vec!["--quick".to_owned()];
+        assert_eq!(take_seed_flag(&mut none), Ok(None));
+        assert_eq!(none, vec!["--quick".to_owned()]);
+
+        let mut ok = vec!["--seed".to_owned(), "42".to_owned(), "--quick".to_owned()];
+        assert_eq!(take_seed_flag(&mut ok), Ok(Some(42)));
+        assert_eq!(ok, vec!["--quick".to_owned()], "both tokens removed");
+
+        let mut bad = vec!["--seed".to_owned(), "banana".to_owned()];
+        assert!(take_seed_flag(&mut bad).is_err());
+        let mut missing = vec!["--seed".to_owned()];
+        assert!(take_seed_flag(&mut missing).is_err());
+        let mut negative = vec!["--seed".to_owned(), "-1".to_owned()];
+        assert!(take_seed_flag(&mut negative).is_err());
+    }
+
+    #[test]
+    fn seeded_trace_captures_fault_events() {
+        let run = run_trace("mix", 20_000, 1 << 16, Some(3)).expect("faulted mix traces cleanly");
+        assert!(
+            run.json.contains("\"faults\""),
+            "fault track metadata missing from the export"
+        );
+        assert!(
+            run.json.contains("\"retry\"") || run.json.contains("link-"),
+            "no fault/retry instants captured"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::process::Command;
 /// are unaffected beyond speed.)
 #[test]
 fn experiment_tables_are_scheduler_invariant() {
-    for id in ["f4", "f6", "t8", "t9", "t10", "t11"] {
+    for id in ["f4", "f6", "t8", "t9", "t10", "t11", "t12"] {
         nanowall::set_default_scheduler_mode(SchedulerMode::Dense);
         let dense = nw_bench::experiments::run_by_id(id, true).expect("registered id");
         nanowall::set_default_scheduler_mode(SchedulerMode::ActiveSet);
@@ -314,6 +314,63 @@ fn expt_trace_writes_valid_chrome_trace_json() {
         .output()
         .expect("spawns");
     assert_eq!(unknown.status.code(), Some(2), "unknown flag is an error");
+}
+
+/// `expt faults --quick` end to end: the parity harness exits 0 on this
+/// tree, reports bit-identical runs, and the table carries every scenario.
+#[test]
+fn expt_faults_harness_passes_quick() {
+    let exe = env!("CARGO_BIN_EXE_expt");
+    let out = Command::new(exe)
+        .args(["faults", "--quick", "--seed", "1"])
+        .output()
+        .expect("spawns");
+    assert!(
+        out.status.success(),
+        "expt faults must exit 0: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAULTS  seed 1"), "header: {stdout}");
+    assert!(stdout.contains("bit-identical"), "verdict: {stdout}");
+    for name in nanowall::ScenarioRegistry::standard().names() {
+        assert!(stdout.contains(name), "row for {name}: {stdout}");
+    }
+
+    let unknown = Command::new(exe)
+        .args(["faults", "--frobnicate"])
+        .output()
+        .expect("spawns");
+    assert_eq!(unknown.status.code(), Some(2), "unknown flag is an error");
+}
+
+/// The uniform `--seed` contract: every seed-taking subcommand rejects a
+/// malformed value with the usage exit code 2 — before doing any work.
+#[test]
+fn bad_seed_is_a_usage_error_everywhere() {
+    let exe = env!("CARGO_BIN_EXE_expt");
+    for sub in [
+        vec!["bench", "--quick"],
+        vec!["trace", "--scenario", "mix"],
+        vec!["profile", "--quick"],
+        vec!["faults", "--quick"],
+    ] {
+        for seed in [&["--seed", "banana"][..], &["--seed"][..]] {
+            let mut args: Vec<&str> = sub.clone();
+            args.extend_from_slice(seed);
+            let out = Command::new(exe).args(&args).output().expect("spawns");
+            assert_eq!(
+                out.status.code(),
+                Some(2),
+                "{args:?} must be a usage error: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            assert!(
+                String::from_utf8_lossy(&out.stderr).contains("--seed"),
+                "{args:?} names the bad flag"
+            );
+        }
+    }
 }
 
 /// The installed binary itself: `expt --fast t1` exits 0 and prints the

@@ -58,6 +58,7 @@
 pub mod config;
 pub mod platform;
 pub mod report;
+pub mod resilience;
 pub mod runtime;
 pub mod scenarios;
 pub mod tags;
@@ -67,6 +68,7 @@ pub use platform::{
     default_scheduler_mode, set_default_scheduler_mode, FppaPlatform, NodeRole, SchedulerMode,
 };
 pub use report::{ObjectLatency, PlatformReport};
+pub use resilience::{ResilienceStats, RetryPolicy};
 pub use runtime::{InstallError, ServiceBinding};
 pub use scenarios::{ScenarioRegistry, ScenarioRig, ScenarioSpec};
 
@@ -77,6 +79,10 @@ pub use nw_obs::{
     export_chrome_trace, validate_chrome_trace, HostPhase, HostProfiler, NocHeatmap, PhaseSlice,
     ProfileReport, RingBufferSink, TraceEvent, TraceSink,
 };
+
+/// Fault-injection re-exports: deterministic campaign generation consumed
+/// through [`FppaPlatform::install_fault_campaign`].
+pub use nw_fault::{FabricShape, FaultCampaign, FaultEvent, FaultKind, FaultRates};
 
 /// The convenient single import for examples and experiments.
 pub mod prelude {

@@ -16,10 +16,12 @@
 
 use crate::config::{BuildPlatformError, FppaConfig};
 use crate::report::PlatformReport;
+use crate::resilience::{CloseOutcome, ResilienceState, ResilienceStats, RetryPolicy};
 use crate::runtime::Runtime;
 use crate::tags::{is_reply, RequestTag};
 use nw_dsoc::{MessageKind, MessageView};
 use nw_fabric::Efpga;
+use nw_fault::{FabricShape, FaultCampaign, FaultKind};
 use nw_hwip::{HwIpBlock, IoChannel};
 use nw_mem::{MemRequest, MemoryController, MemorySpec, ReqKind};
 use nw_noc::{Noc, PayloadPool, Topology};
@@ -149,9 +151,11 @@ pub struct FppaPlatform {
     /// or blocked on a platform completion — so skipping its tick and
     /// bulk-settling the accounting later is bit-identical.
     pe_active: Vec<bool>,
-    /// Lazily computed, cached hop matrix (the topology is immutable after
-    /// construction, so the cache never needs invalidation; rebuilding the
-    /// platform is the only way to change the topology).
+    /// Lazily computed, cached hop matrix. The topology's link structure is
+    /// immutable after construction, but *routes* can change when a link is
+    /// permanently failed ([`FppaPlatform::fail_noc_link`] or a campaign
+    /// fault) — every such change empties this cache so the next
+    /// [`FppaPlatform::hop_matrix`] recomputes against the degraded tables.
     hop_cache: OnceCell<Vec<Vec<f64>>>,
     /// Recycling arena for packet payloads: consumed packet buffers return
     /// here in `route_arrivals`, and every payload producer (service
@@ -185,6 +189,17 @@ pub struct FppaPlatform {
     /// [`FppaPlatform::set_host_profiler`]). Host-domain only — its
     /// readings never influence simulation state.
     profiler: Option<HostProfiler>,
+    /// Installed fault campaign, drained cycle by cycle at the top of each
+    /// step. `None` keeps every fault hook structurally untouched, so
+    /// faults-off runs are bit-identical to builds without the subsystem.
+    campaign: Option<FaultCampaign>,
+    /// Retry/timeout bookkeeping (see [`FppaPlatform::set_retry_policy`]).
+    /// `None` keeps the legacy reply path: tags carry token 0 and replies
+    /// complete their thread unconditionally.
+    resilience: Option<ResilienceState>,
+    /// Fault/recovery counters surfaced through
+    /// [`FppaPlatform::resilience_stats`]; all zero when faults are off.
+    rstats: ResilienceStats,
 }
 
 impl FppaPlatform {
@@ -297,6 +312,9 @@ impl FppaPlatform {
             deadline_misses: Vec::new(),
             obs_sink: None,
             profiler: None,
+            campaign: None,
+            resilience: None,
+            rstats: ResilienceStats::default(),
         })
     }
 
@@ -488,9 +506,11 @@ impl FppaPlatform {
     /// mappers).
     ///
     /// The matrix is O(n²) `hops` walks to build, and mapper-heavy loops
-    /// (DSE sweeps) ask for it repeatedly, so it is computed once per
-    /// platform and cached; the topology is fixed at construction, so the
-    /// cache can never go stale.
+    /// (DSE sweeps) ask for it repeatedly, so it is computed once and
+    /// cached. Permanently failing a link ([`FppaPlatform::fail_noc_link`]
+    /// or a campaign fault) invalidates the cache, so the next call
+    /// recomputes against the degraded routing tables; endpoint pairs
+    /// disconnected by dead links read `f64::INFINITY`.
     pub fn hop_matrix(&self) -> Vec<Vec<f64>> {
         self.hop_cache
             .get_or_init(|| {
@@ -498,7 +518,12 @@ impl FppaPlatform {
                 (0..n)
                     .map(|a| {
                         (0..n)
-                            .map(|b| self.noc.topology().hops(a, b) as f64)
+                            .map(|b| {
+                                self.noc
+                                    .topology()
+                                    .try_hops(a, b)
+                                    .map_or(f64::INFINITY, |h| h as f64)
+                            })
                             .collect()
                     })
                     .collect()
@@ -583,9 +608,275 @@ impl FppaPlatform {
         }
     }
 
+    /// The minimal fabric description a [`FaultCampaign`] needs to aim
+    /// faults at valid targets on this platform.
+    pub fn fault_shape(&self) -> FabricShape {
+        let topo = self.noc.topology();
+        FabricShape {
+            n_pes: self.pes.len(),
+            router_ports: (0..topo.n_routers())
+                .map(|r| topo.links_of(r).len())
+                .collect(),
+            n_endpoints: topo.n_endpoints(),
+        }
+    }
+
+    /// Installs a fault campaign: from the next stepped cycle on, due
+    /// events are drained at the top of every cycle (under both scheduler
+    /// modes, at identical cycles) and applied through the NoC and PE fault
+    /// hooks. Campaigns pair naturally with
+    /// [`FppaPlatform::set_retry_policy`] so lost requests recover instead
+    /// of blocking their thread forever.
+    pub fn install_fault_campaign(&mut self, campaign: FaultCampaign) {
+        self.campaign = Some(campaign);
+    }
+
+    /// The installed fault campaign, if any.
+    pub fn fault_campaign(&self) -> Option<&FaultCampaign> {
+        self.campaign.as_ref()
+    }
+
+    /// Enables the deterministic retry layer: every synchronous call gets a
+    /// deadline, a timed-out call is re-issued with a bumped tag token
+    /// (stale replies are detected and dropped), and a call that exhausts
+    /// [`RetryPolicy::max_attempts`] releases its blocked thread.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.resilience = Some(ResilienceState::new(policy));
+    }
+
+    /// Synchronous calls currently tracked by the retry layer.
+    pub fn pending_retries(&self) -> usize {
+        self.resilience
+            .as_ref()
+            .map_or(0, ResilienceState::pending_len)
+    }
+
+    /// Fault-injection and recovery counters: platform-side events merged
+    /// with the NoC's drop/corruption bookkeeping. All zero when faults
+    /// were never enabled.
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        let mut s = self.rstats.clone();
+        s.packets_dropped = self.noc.dropped_packets();
+        s.flits_dropped = self.noc.dropped_flits();
+        s.packets_corrupted = self.noc.corrupted_packets();
+        s
+    }
+
+    /// Permanently fails output `port` of `router`: routes are recomputed
+    /// around the dead link (BFS over the surviving fabric), stranded
+    /// packets are redirected or deterministically dropped, and the cached
+    /// hop matrix is invalidated. Returns `false` when the link was already
+    /// down. This is the degraded-mode hook the fault phase uses for
+    /// permanent `LinkDown` events; tests and experiments may call it
+    /// directly.
+    pub fn fail_noc_link(&mut self, router: usize, port: usize) -> bool {
+        let now = self.clock.now();
+        if !self.noc.fail_link(router, port, now) {
+            return false;
+        }
+        self.rstats.links_failed += 1;
+        self.rstats.reroutes += 1;
+        self.hop_cache.take();
+        if let Some(s) = self.obs_sink.as_deref_mut() {
+            s.emit(TraceEvent::Reroute {
+                cycle: now.0,
+                router,
+                port,
+            });
+        }
+        true
+    }
+
+    /// Crashes PE `pe` (fault hook): threads die, owned payload buffers are
+    /// recycled into the pool, latency probes and retry entries of the PE
+    /// are cancelled. Idempotent while crashed.
+    fn crash_pe(&mut self, pe: usize, now: Cycles) {
+        if pe >= self.pes.len() || self.pes[pe].is_crashed() {
+            return;
+        }
+        for b in self.pes[pe].crash(now) {
+            // Storage-less program payloads (`Op::call` stubs) are only
+            // converted to pool buffers by `pad_zeroed` at send time; a
+            // crashed PE's unexecuted ones were never taken, so counting
+            // them as returns would unbalance the ledger.
+            if b.capacity() > 0 {
+                self.pool.put(b);
+            }
+        }
+        // One settling tick; the PE reads dormant from the next cycle on.
+        self.pe_active[pe] = true;
+        for slot in &mut self.call_issue[pe] {
+            *slot = None;
+        }
+        if let Some(rt) = self.runtime.as_mut() {
+            rt.clear_thread_objects(pe);
+        }
+        if let Some(rs) = self.resilience.as_mut() {
+            for b in rs.abandon_pe(pe) {
+                self.pool.put(b);
+            }
+        }
+        self.rstats.pe_crashes += 1;
+    }
+
+    /// Drains and applies every campaign event due at `now`, then recycles
+    /// any payload buffers the NoC dropped (injected drops now, or
+    /// disconnection drops during earlier ticks). Runs at the top of both
+    /// scheduler steps, so fault application lands on identical cycles.
+    fn apply_faults(&mut self, now: Cycles) {
+        let Some(mut campaign) = self.campaign.take() else {
+            return;
+        };
+        for ev in campaign.take_due(now.0) {
+            self.rstats.faults_injected += 1;
+            let (kind, target, arg) = match ev.kind {
+                FaultKind::LinkDown {
+                    router,
+                    port,
+                    until: Some(until),
+                } => {
+                    if router < self.noc.topology().n_routers()
+                        && port < self.noc.topology().links_of(router).len()
+                    {
+                        self.noc.stall_port(router, port, until);
+                    }
+                    (0, router, port as u64)
+                }
+                FaultKind::LinkDown {
+                    router,
+                    port,
+                    until: None,
+                } => {
+                    if router < self.noc.topology().n_routers()
+                        && port < self.noc.topology().links_of(router).len()
+                    {
+                        self.fail_noc_link(router, port);
+                    }
+                    (1, router, port as u64)
+                }
+                FaultKind::RouterStall { router, until } => {
+                    if router < self.noc.topology().n_routers() {
+                        self.noc.stall_router(router, until);
+                    }
+                    (2, router, until)
+                }
+                FaultKind::DropNext { router } => {
+                    if router < self.noc.topology().n_routers() {
+                        self.noc.drop_next(router, now);
+                    }
+                    (3, router, 0)
+                }
+                FaultKind::CorruptNext { node } => {
+                    if node < self.roles.len() {
+                        self.noc.corrupt_next(node);
+                    }
+                    (4, node, 0)
+                }
+                FaultKind::PeCrash { pe } => {
+                    self.crash_pe(pe, now);
+                    (5, pe, 0)
+                }
+                FaultKind::PeRestart { pe } => {
+                    if pe < self.pes.len() && self.pes[pe].is_crashed() {
+                        self.pes[pe].restart(now);
+                        self.pe_active[pe] = true;
+                        self.rstats.pe_restarts += 1;
+                    }
+                    (6, pe, 0)
+                }
+            };
+            if let Some(s) = self.obs_sink.as_deref_mut() {
+                s.emit(TraceEvent::FaultInjected {
+                    cycle: now.0,
+                    kind,
+                    target,
+                    arg,
+                });
+            }
+        }
+        self.campaign = Some(campaign);
+        if self.noc.has_dropped_buffers() {
+            for b in self.noc.take_dropped_buffers() {
+                self.pool.put(b);
+            }
+        }
+    }
+
+    /// Fires due retry deadlines: re-issue with a bumped token and doubled
+    /// window, or give up after the attempt budget and release the blocked
+    /// thread. Deadlines are plain cycle numbers, so both schedulers fire
+    /// them on identical cycles.
+    fn check_retries(&mut self, now: Cycles) {
+        let Some(mut rs) = self.resilience.take() else {
+            return;
+        };
+        if rs.earliest_deadline().is_some_and(|d| d <= now.0) {
+            let policy = rs.policy;
+            for (p, tid) in rs.due_keys(now.0) {
+                let give_up = {
+                    let Some(entry) = rs.get_mut(p, tid) else {
+                        continue;
+                    };
+                    u32::from(entry.attempt) + 1 >= u32::from(policy.max_attempts.max(1))
+                };
+                if give_up {
+                    if let Some(data) = rs.abandon(p, tid) {
+                        self.pool.put(data);
+                    }
+                    self.call_issue[p][tid] = None;
+                    self.rstats.retry_give_ups += 1;
+                    let t = nw_types::ThreadId(tid);
+                    if self.pes[p].is_awaiting(t) {
+                        self.pe_active[p] = true;
+                        self.pes[p].complete(t);
+                    }
+                } else {
+                    rs.bump(p, tid, now.0);
+                    let entry = rs.get_mut(p, tid).expect("entry was just bumped");
+                    let mut fresh = self.pool.take();
+                    fresh.extend_from_slice(&entry.data);
+                    let send = std::mem::replace(&mut entry.data, fresh);
+                    let tag = RequestTag {
+                        pe: PeId(p),
+                        tid: nw_types::ThreadId(tid),
+                        token: entry.token,
+                        reply_bytes: entry.reply_bytes,
+                    }
+                    .encode();
+                    let (dst, attempt) = (entry.dst, entry.attempt);
+                    self.outbox.push_back(Outgoing {
+                        src: self.pe_nodes[p],
+                        dst,
+                        data: send,
+                        tag,
+                        on_accept: None,
+                    });
+                    self.rstats.retries += 1;
+                    if let Some(s) = self.obs_sink.as_deref_mut() {
+                        s.emit(TraceEvent::RetryIssued {
+                            cycle: now.0,
+                            pe: p,
+                            thread: tid,
+                            attempt: u32::from(attempt),
+                        });
+                    }
+                }
+            }
+        }
+        self.resilience = Some(rs);
+    }
+
     /// The dense reference scheduler: every component ticks every cycle.
     fn step_dense(&mut self) {
         let now = self.clock.now();
+
+        // 0. Fault injection and retry deadlines (no-ops when disabled).
+        if self.campaign.is_some() {
+            self.apply_faults(now);
+        }
+        if self.resilience.is_some() {
+            self.check_retries(now);
+        }
 
         // 1. I/O pacing and ingress injection.
         for i in 0..self.ios.len() {
@@ -632,6 +923,16 @@ impl FppaPlatform {
     /// the simulation is bit-identical to [`FppaPlatform::step_dense`].
     fn step_active(&mut self) {
         let now = self.clock.now();
+
+        // 0. Fault injection and retry deadlines (no-ops when disabled) —
+        //    same phase position as the dense step, so fault application
+        //    and retry firing land on identical cycles.
+        if self.campaign.is_some() {
+            self.apply_faults(now);
+        }
+        if self.resilience.is_some() {
+            self.check_retries(now);
+        }
 
         // 1. I/O pacing always ticks: the line-rate credit accumulator is
         //    per-cycle f64 arithmetic that must replay exactly.
@@ -723,6 +1024,25 @@ impl FppaPlatform {
     fn quiet_span(&self) -> Option<u64> {
         let now = self.clock.now();
         if !self.outbox.is_empty() {
+            return None;
+        }
+        // A fault event or retry deadline due now must be applied in a
+        // normally stepped cycle; future ones bound the hop via
+        // [`Self::quiet_target`].
+        if self
+            .campaign
+            .as_ref()
+            .and_then(FaultCampaign::next_cycle)
+            .is_some_and(|t| t <= now.0)
+        {
+            return None;
+        }
+        if self
+            .resilience
+            .as_ref()
+            .and_then(ResilienceState::earliest_deadline)
+            .is_some_and(|d| d <= now.0)
+        {
             return None;
         }
         if self.noc.eject_pending() > 0 || self.noc.next_event_cycle(now).is_some_and(|t| t <= now)
@@ -843,6 +1163,18 @@ impl FppaPlatform {
         if let Some(c) = self.noc.next_event_cycle(now) {
             target = target.min(c.max(now));
         }
+        // Pending fault events and retry deadlines are timed events too: a
+        // quiet span must never skip over one.
+        if let Some(c) = self.campaign.as_ref().and_then(FaultCampaign::next_cycle) {
+            target = target.min(Cycles(c).max(now));
+        }
+        if let Some(d) = self
+            .resilience
+            .as_ref()
+            .and_then(ResilienceState::earliest_deadline)
+        {
+            target = target.min(Cycles(d).max(now));
+        }
         target
     }
 
@@ -879,6 +1211,18 @@ impl FppaPlatform {
             fold(Some(Cycles(now.0 + 1)));
         }
         fold(self.noc.next_event_cycle(now));
+        fold(
+            self.campaign
+                .as_ref()
+                .and_then(FaultCampaign::next_cycle)
+                .map(|t| Cycles(t).max(now)),
+        );
+        fold(
+            self.resilience
+                .as_ref()
+                .and_then(ResilienceState::earliest_deadline)
+                .map(|d| Cycles(d).max(now)),
+        );
         for (m, parked) in self.mems.iter().zip(&self.mem_parked) {
             if !parked.is_empty() {
                 fold(Some(now));
@@ -907,6 +1251,13 @@ impl FppaPlatform {
         let now = self.clock.now();
         for pe in &mut self.pes {
             pe.settle_accounting(now);
+        }
+        // Buffers dropped by the NoC on the final cycle (injected drops,
+        // disconnections) still belong to the pool.
+        if self.noc.has_dropped_buffers() {
+            for b in self.noc.take_dropped_buffers() {
+                self.pool.put(b);
+            }
         }
     }
 
@@ -949,11 +1300,43 @@ impl FppaPlatform {
                     NodeRole::Pe(p) => {
                         if is_reply(pkt.tag) {
                             let t = RequestTag::decode(pkt.tag);
-                            self.record_reply_latency(p, t.tid, now);
-                            // Data-driven wake: the completion makes a
-                            // blocked thread runnable again.
-                            self.pe_active[p] = true;
-                            self.pes[p].complete(t.tid);
+                            match self
+                                .resilience
+                                .as_mut()
+                                .map(|rs| rs.close(p, t.tid.0, t.token))
+                            {
+                                None => {
+                                    // Legacy path (retry layer off).
+                                    self.record_reply_latency(p, t.tid, now);
+                                    // Data-driven wake: the completion makes
+                                    // a blocked thread runnable again.
+                                    self.pe_active[p] = true;
+                                    self.pes[p].complete(t.tid);
+                                }
+                                Some(CloseOutcome::Live(stored)) => {
+                                    self.pool.put(stored);
+                                    self.record_reply_latency(p, t.tid, now);
+                                    self.pe_active[p] = true;
+                                    self.pes[p].complete(t.tid);
+                                }
+                                Some(CloseOutcome::Stale) => {
+                                    // An earlier attempt's reply arrived
+                                    // after its timeout: a newer attempt is
+                                    // in flight, so this one is a duplicate.
+                                    self.rstats.duplicate_replies_dropped += 1;
+                                }
+                                Some(CloseOutcome::Unknown) => {
+                                    // No tracked call: the thread either
+                                    // gave up already or its PE crashed.
+                                    if self.pes[p].is_awaiting(t.tid) {
+                                        self.record_reply_latency(p, t.tid, now);
+                                        self.pe_active[p] = true;
+                                        self.pes[p].complete(t.tid);
+                                    } else {
+                                        self.rstats.duplicate_replies_dropped += 1;
+                                    }
+                                }
+                            }
                         } else if let Some(rt) = self.runtime.as_mut() {
                             rt.enqueue_invocation(p, &pkt);
                         }
@@ -1204,9 +1587,21 @@ impl FppaPlatform {
                             self.call_issue[p][tid.0] = Some((now, obj));
                         }
                         self.pool.pad_zeroed(&mut data, bytes as usize);
+                        // With the retry layer on, open a pending entry
+                        // holding a pool-accounted clone of the payload and
+                        // stamp its token on the tag; off, token 0 keeps
+                        // the tag bit-identical to the legacy layout.
+                        let token = if let Some(rs) = self.resilience.as_mut() {
+                            let mut copy = self.pool.take();
+                            copy.extend_from_slice(&data);
+                            rs.open(p, tid.0, dst, reply_bytes, copy, now.0)
+                        } else {
+                            0
+                        };
                         let tag = RequestTag {
                             pe: PeId(p),
                             tid,
+                            token,
                             reply_bytes,
                         }
                         .encode();
@@ -1245,9 +1640,15 @@ impl FppaPlatform {
                 });
             }
             if let Some((pe, tid)) = out.on_accept {
-                // Data-driven wake: the NI accepted the async send.
-                self.pe_active[pe.0] = true;
-                self.pes[pe.0].complete(tid);
+                // Data-driven wake: the NI accepted the async send. With
+                // faults enabled the issuing PE may have crashed between
+                // issue and acceptance — its thread is no longer awaiting,
+                // so the wake is skipped (fault-free runs keep the
+                // unconditional legacy path, assertion included).
+                if self.campaign.is_none() || self.pes[pe.0].is_awaiting(tid) {
+                    self.pe_active[pe.0] = true;
+                    self.pes[pe.0].complete(tid);
+                }
             }
         }
         self.outbox = remaining;

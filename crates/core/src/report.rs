@@ -1,6 +1,7 @@
 //! Post-run platform reports.
 
 use crate::platform::FppaPlatform;
+use crate::resilience::ResilienceStats;
 use nw_noc::NocStats;
 use nw_types::{Cycles, Picojoules};
 
@@ -96,6 +97,9 @@ pub struct PlatformReport {
     pub fabric_served: u64,
     /// Items served by hardwired IP blocks.
     pub hwip_served: u64,
+    /// Fault-injection and recovery counters (all zeros when no fault
+    /// campaign or retry policy is installed).
+    pub resilience: ResilienceStats,
 }
 
 impl PlatformReport {
@@ -150,6 +154,7 @@ impl PlatformReport {
             mem_accesses: p.mems_slice().iter().map(|m| m.served()).sum(),
             fabric_served: p.fabrics_slice().iter().map(|f| f.served()).sum(),
             hwip_served: p.hwips_slice().iter().map(|h| h.served()).sum(),
+            resilience: p.resilience_stats(),
         }
     }
 

@@ -96,6 +96,29 @@ fn nd03_flags_mutable_globals_in_sim_result_crates() {
 }
 
 #[test]
+fn nd02_and_nd03_guard_the_fault_crate() {
+    // The fault-injection contract: campaign generation must draw from the
+    // seeded vendored RNG only. `thread_rng` (OS entropy) and mutable
+    // globals inside `nw-fault` sources are exactly the bugs that would
+    // break faulted bit-identity, so both rules must fire there.
+    let hit = scan(&[(
+        "crates/nw-fault/src/lib.rs",
+        "fn gen() -> u64 { thread_rng().gen() }\n\
+         static mut LAST_SEED: u64 = 0;\n\
+         static CACHE: OnceLock<u64> = OnceLock::new();\n",
+    )]);
+    assert_eq!(rules_of(&hit), ["ND02", "ND03", "ND03"], "{}", hit.render());
+
+    // The sanctioned idiom — a seeded StdRng threaded by value — is clean.
+    let clean = scan(&[(
+        "crates/nw-fault/src/lib.rs",
+        "use rand::rngs::StdRng;\nuse rand::SeedableRng;\n\
+         fn gen(seed: u64) -> StdRng { StdRng::seed_from_u64(seed) }\n",
+    )]);
+    assert!(clean.is_clean(), "{}", clean.render());
+}
+
+#[test]
 fn rh01_flags_pool_acquires_with_no_release_in_the_module() {
     let hit = scan(&[(
         "crates/core/src/x.rs",

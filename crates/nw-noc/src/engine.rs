@@ -78,6 +78,10 @@ struct OutPort {
     width: u64,
     busy_until: u64,
     queue: VecDeque<Packet>,
+    /// Permanently dead (hard link fault). Routing tables are recomputed
+    /// to avoid dead ports, so their queues stay empty; the flag makes
+    /// [`Noc::fail_link`] idempotent and lets the audit pin the invariant.
+    down: bool,
 }
 
 #[derive(Debug)]
@@ -232,6 +236,19 @@ pub struct Noc {
     ni_ready_count: usize,
     /// Heatmap accounting, present only after [`Noc::enable_obs`].
     obs: Option<ObsCounters>,
+    /// Permanently dead directed links as `(router, port)` pairs, in
+    /// failure order — the live input to route recomputation.
+    dead_links: Vec<(usize, usize)>,
+    /// Payload buffers of fault-dropped packets, held for the platform to
+    /// recycle into its payload pool (the engine does not own the pool).
+    dropped_buffers: Vec<Vec<u8>>,
+    /// Packets discarded by fault injection (explicit drops plus packets
+    /// stranded by disconnection).
+    dropped_packets: u64,
+    /// Flits those discarded packets carried.
+    dropped_flits: u64,
+    /// Packets whose payload was corrupted in place by fault injection.
+    corrupted_packets: u64,
 }
 
 impl Noc {
@@ -266,6 +283,7 @@ impl Noc {
                         width: l.width,
                         busy_until: 0,
                         queue: VecDeque::new(),
+                        down: false,
                     })
                     .collect(),
                 shared: topo.is_shared(r),
@@ -300,6 +318,11 @@ impl Noc {
             ni_ready: vec![false; n_endpoints],
             ni_ready_count: 0,
             obs: None,
+            dead_links: Vec::new(),
+            dropped_buffers: Vec::new(),
+            dropped_packets: 0,
+            dropped_flits: 0,
+            corrupted_packets: 0,
         }
     }
 
@@ -547,6 +570,205 @@ impl Noc {
             && self.eject_pending == 0
     }
 
+    // --- Fault-injection hooks -------------------------------------------
+    //
+    // Deterministic entry points for `nw-fault` campaigns, driven by the
+    // platform at exact cycle boundaries. None of them consults any clock
+    // or entropy source; all of them maintain the active-set bookkeeping
+    // (queued/ni_pending/input_free/wake wheel) exactly, so the engine
+    // stays bit-identical across the dense and event-driven tick paths
+    // with faults applied.
+
+    /// Transient link fault: port `(router, port)` transmits nothing before
+    /// cycle `until`. Reuses the serialization-occupancy mechanism, so a
+    /// stalled port re-arms the event wheel exactly like a long transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` or `port` is out of range.
+    pub fn stall_port(&mut self, router: usize, port: usize, until: u64) {
+        let p = &mut self.routers[router].ports[port];
+        p.busy_until = p.busy_until.max(until);
+        if self.routers[router].queued > 0 {
+            self.schedule_wake(router, until);
+        }
+    }
+
+    /// Whole-router stall: every output of `router` (and its shared medium,
+    /// if any) is held busy until cycle `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` is out of range.
+    pub fn stall_router(&mut self, router: usize, until: u64) {
+        let rt = &mut self.routers[router];
+        for p in &mut rt.ports {
+            p.busy_until = p.busy_until.max(until);
+        }
+        rt.shared_busy_until = rt.shared_busy_until.max(until);
+        if rt.queued > 0 {
+            self.schedule_wake(router, until);
+        }
+    }
+
+    /// Permanent hard fault on directed link `(router, port)`: the port is
+    /// marked down, every routing table is recomputed around the dead set,
+    /// and packets queued on the port are re-dispatched along the new
+    /// routes (or deterministically dropped when the destination became
+    /// unreachable). Idempotent. Returns `true` when this call newly
+    /// killed the link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` or `port` is out of range.
+    pub fn fail_link(&mut self, router: usize, port: usize, now: Cycles) -> bool {
+        if self.routers[router].ports[port].down {
+            return false;
+        }
+        self.routers[router].ports[port].down = true;
+        self.dead_links.push((router, port));
+        self.topo.recompute_routes(&self.dead_links);
+        // Strand-and-redirect: traffic queued on the dead port follows the
+        // recomputed tables or drops.
+        let mut stranded: VecDeque<Packet> =
+            std::mem::take(&mut self.routers[router].ports[port].queue);
+        while let Some(pkt) = stranded.pop_front() {
+            self.obs_settle(router, now.0);
+            self.routers[router].queued -= 1;
+            self.queued_total -= 1;
+            match self.topo.next_hop(router, pkt.dst.0) {
+                Some(new_port) => {
+                    debug_assert_ne!(new_port, port, "reroute must avoid the dead port");
+                    self.obs_settle(router, now.0);
+                    self.routers[router].ports[new_port].queue.push_back(pkt);
+                    self.routers[router].queued += 1;
+                    self.queued_total += 1;
+                    self.schedule_wake(router, now.0);
+                }
+                None => {
+                    // Unreachable: the reserved buffer slot frees.
+                    self.routers[router].input_free += 1;
+                    if self.routers[router].input_free == 1 {
+                        self.wake_preds(router, now.0);
+                    }
+                    self.ni_credit_check(router);
+                    self.drop_packet(pkt);
+                }
+            }
+        }
+        true
+    }
+
+    /// Drop the head-of-line packet at `router`: the first queued packet in
+    /// port-index order, else the NI head. Returns whether anything was
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` is out of range.
+    pub fn drop_next(&mut self, router: usize, now: Cycles) -> bool {
+        let nports = self.routers[router].ports.len();
+        for p in 0..nports {
+            if self.routers[router].ports[p].queue.is_empty() {
+                continue;
+            }
+            self.obs_settle(router, now.0);
+            let pkt = self.routers[router].ports[p]
+                .queue
+                .pop_front()
+                .expect("checked non-empty");
+            self.routers[router].queued -= 1;
+            self.queued_total -= 1;
+            self.routers[router].input_free += 1;
+            if self.routers[router].input_free == 1 {
+                self.wake_preds(router, now.0);
+            }
+            self.ni_credit_check(router);
+            self.drop_packet(pkt);
+            return true;
+        }
+        // No port queue held anything: take the NI head instead.
+        if let Some(pkt) = self.routers[router].ni_in.pop_front() {
+            self.ni_pending -= 1;
+            // Readiness described the popped head; recompute for the new
+            // front so `drain_ni`'s gate stays exact.
+            if router < self.ni_ready.len() && self.ni_ready[router] {
+                self.ni_ready[router] = false;
+                self.ni_ready_count -= 1;
+            }
+            if router < self.ni_ready.len() {
+                if let Some(front) = self.routers[router].ni_in.front() {
+                    if front.dst.0 == router || self.routers[router].input_free >= 2 {
+                        self.ni_ready[router] = true;
+                        self.ni_ready_count += 1;
+                    }
+                }
+            }
+            self.drop_packet(pkt);
+            return true;
+        }
+        false
+    }
+
+    /// Corrupt the payload of the packet at the head of endpoint `node`'s
+    /// NI queue (XOR of the first byte — enough to break any header).
+    /// Returns whether a payload was corrupted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn corrupt_next(&mut self, node: usize) -> bool {
+        if let Some(pkt) = self.routers[node].ni_in.front_mut() {
+            if let Some(byte) = pkt.data.first_mut() {
+                *byte ^= 0xA5;
+                self.corrupted_packets += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Hand the payload buffers of fault-dropped packets to the caller
+    /// (the platform recycles them into its payload pool; the engine never
+    /// owns the pool).
+    pub fn take_dropped_buffers(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.dropped_buffers)
+    }
+
+    /// Whether dropped-packet buffers are waiting for
+    /// [`take_dropped_buffers`](Self::take_dropped_buffers).
+    pub fn has_dropped_buffers(&self) -> bool {
+        !self.dropped_buffers.is_empty()
+    }
+
+    /// Permanently dead directed links, in failure order.
+    pub fn dead_links(&self) -> &[(usize, usize)] {
+        &self.dead_links
+    }
+
+    /// Packets discarded by fault injection (drops plus disconnection).
+    pub fn dropped_packets(&self) -> u64 {
+        self.dropped_packets
+    }
+
+    /// Flits those discarded packets carried.
+    pub fn dropped_flits(&self) -> u64 {
+        self.dropped_flits
+    }
+
+    /// Packets whose payload was corrupted in place.
+    pub fn corrupted_packets(&self) -> u64 {
+        self.corrupted_packets
+    }
+
+    /// Common drop accounting: count the packet and stash its buffer for
+    /// the platform's payload pool.
+    fn drop_packet(&mut self, mut pkt: Packet) {
+        self.dropped_packets += 1;
+        self.dropped_flits += pkt.flits(self.cfg.flit_bytes);
+        self.dropped_buffers.push(std::mem::take(&mut pkt.data));
+    }
+
     fn deliver(
         &mut self,
         router: usize,
@@ -623,11 +845,7 @@ impl Noc {
                 }
                 self.ni_credit_check(router);
                 self.deliver(router, packet, now, sink);
-            } else {
-                let port = self
-                    .topo
-                    .next_hop(router, packet.dst.0)
-                    .expect("non-destination router must have a next hop");
+            } else if let Some(port) = self.topo.next_hop(router, packet.dst.0) {
                 // The packet keeps its reserved buffer slot while queued.
                 self.obs_settle(router, now.0);
                 self.routers[router].ports[port].queue.push_back(packet);
@@ -638,6 +856,16 @@ impl Noc {
                     c.peak_queue = c.peak_queue.max(self.routers[router].queued);
                 }
                 self.schedule_wake(router, now.0);
+            } else {
+                // No route: permanent link faults disconnected the pair
+                // after this packet left its source. Deterministic drop —
+                // the buffer slot frees like a delivery would.
+                self.routers[router].input_free += 1;
+                if self.routers[router].input_free == 1 {
+                    self.wake_preds(router, now.0);
+                }
+                self.ni_credit_check(router);
+                self.drop_packet(packet);
             }
         }
     }
@@ -665,12 +893,16 @@ impl Noc {
                 if self.routers[r].input_free < 2 {
                     break;
                 }
+                let Some(port) = self.topo.next_hop(r, front_dst.0) else {
+                    // Destination unreachable after permanent link faults:
+                    // drop at the NI (the head never took a buffer slot).
+                    let p = self.routers[r].ni_in.pop_front().expect("checked front");
+                    self.ni_pending -= 1;
+                    self.drop_packet(p);
+                    continue;
+                };
                 let p = self.routers[r].ni_in.pop_front().expect("checked front");
                 self.ni_pending -= 1;
-                let port = self
-                    .topo
-                    .next_hop(r, p.dst.0)
-                    .expect("remote destination must have a next hop");
                 self.routers[r].input_free -= 1;
                 self.obs_settle(r, now.0);
                 self.routers[r].ports[port].queue.push_back(p);
@@ -921,6 +1153,14 @@ impl Noc {
                 at == u64::MAX || at > now.0,
                 "router {r} holds a stale wake at {at} after tick {now:?}"
             );
+        }
+        for (r, rt) in self.routers.iter().enumerate() {
+            for (p, port) in rt.ports.iter().enumerate() {
+                debug_assert!(
+                    !port.down || port.queue.is_empty(),
+                    "dead link {r}:{p} holds queued packets at {now:?}"
+                );
+            }
         }
     }
 }
@@ -1201,6 +1441,114 @@ mod tests {
             assert!(now.0 < 1_000);
         }
         assert!(now >= next, "packet cannot arrive before the next event");
+    }
+
+    #[test]
+    fn stalled_port_delays_delivery() {
+        let deliver_at = |stall: Option<u64>| -> u64 {
+            let topo = Topology::build(TopologyKind::Ring, 8, 1).unwrap();
+            let mut noc = Noc::new(topo, NocConfig::default());
+            noc.try_inject(NodeId(0), NodeId(2), vec![0; 16], 0, Cycles(0))
+                .unwrap();
+            if let Some(until) = stall {
+                let port = noc.topology().next_hop(0, 2).unwrap();
+                noc.stall_port(0, port, until);
+            }
+            run_until_delivered(&mut noc, NodeId(2), 10_000).1 .0
+        };
+        let clean = deliver_at(None);
+        let stalled = deliver_at(Some(50));
+        assert!(
+            stalled >= 50 && stalled > clean,
+            "stall must delay delivery: clean {clean}, stalled {stalled}"
+        );
+        // Router-wide stalls delay at least as much as a single port.
+        let topo = Topology::build(TopologyKind::Ring, 8, 1).unwrap();
+        let mut noc = Noc::new(topo, NocConfig::default());
+        noc.try_inject(NodeId(0), NodeId(2), vec![0; 16], 0, Cycles(0))
+            .unwrap();
+        noc.stall_router(0, 80);
+        let (_, t) = run_until_delivered(&mut noc, NodeId(2), 10_000);
+        assert!(t.0 >= 80);
+    }
+
+    #[test]
+    fn failed_link_reroutes_queued_traffic() {
+        // 4x4 mesh, 0 -> 3 along row 0. Kill 0's east port after the
+        // packet is queued on it; the packet must detour and still arrive.
+        let topo = Topology::build(TopologyKind::Mesh, 16, 1).unwrap();
+        let mut noc = Noc::new(topo, NocConfig::default());
+        noc.try_inject(NodeId(0), NodeId(3), vec![7; 16], 9, Cycles(0))
+            .unwrap();
+        // One tick moves the packet from the NI onto the east port queue.
+        let east = noc.topology().next_hop(0, 3).unwrap();
+        noc.drain_arrivals(Cycles(0), &mut None);
+        noc.drain_ni(Cycles(0), &mut None);
+        assert!(!noc.routers[0].ports[east].queue.is_empty());
+        assert!(noc.fail_link(0, east, Cycles(0)));
+        assert!(!noc.fail_link(0, east, Cycles(0)), "idempotent");
+        assert!(noc.routers[0].ports[east].queue.is_empty());
+        assert_eq!(noc.dead_links(), &[(0, east)]);
+        let (p, _) = run_until_delivered(&mut noc, NodeId(3), 10_000);
+        assert_eq!(p.data, vec![7; 16]);
+        assert_eq!(noc.dropped_packets(), 0);
+    }
+
+    #[test]
+    fn disconnection_drops_deterministically() {
+        // Crossbar endpoint 0 has exactly one outbound link; killing it
+        // strands every remote packet from node 0.
+        let topo = Topology::build(TopologyKind::Crossbar, 4, 1).unwrap();
+        let mut noc = Noc::new(topo, NocConfig::default());
+        noc.try_inject(NodeId(0), NodeId(2), vec![1; 24], 0, Cycles(0))
+            .unwrap();
+        assert!(noc.fail_link(0, 0, Cycles(0)));
+        let mut now = Cycles(0);
+        while noc.has_work() {
+            noc.tick(now);
+            now += Cycles(1);
+            assert!(now.0 < 1_000);
+        }
+        assert_eq!(noc.dropped_packets(), 1);
+        assert!(noc.dropped_flits() > 0);
+        let bufs = noc.take_dropped_buffers();
+        assert_eq!(bufs.len(), 1);
+        assert!(!noc.has_dropped_buffers());
+        assert!(noc.is_quiescent());
+    }
+
+    #[test]
+    fn drop_next_takes_head_of_line() {
+        let topo = Topology::build(TopologyKind::Ring, 8, 1).unwrap();
+        let mut noc = Noc::new(topo, NocConfig::default());
+        assert!(!noc.drop_next(0, Cycles(0)), "nothing to drop yet");
+        noc.try_inject(NodeId(0), NodeId(3), vec![2; 16], 0, Cycles(0))
+            .unwrap();
+        // Still in the NI: the NI head is dropped.
+        assert!(noc.drop_next(0, Cycles(0)));
+        assert_eq!(noc.dropped_packets(), 1);
+        assert_eq!(noc.take_dropped_buffers().len(), 1);
+        let mut now = Cycles(0);
+        while noc.has_work() {
+            noc.tick(now);
+            now += Cycles(1);
+        }
+        assert!(noc.is_quiescent());
+        assert_eq!(noc.counts().delivered, 0);
+    }
+
+    #[test]
+    fn corrupt_next_flips_payload_in_place() {
+        let topo = Topology::build(TopologyKind::Ring, 8, 1).unwrap();
+        let mut noc = Noc::new(topo, NocConfig::default());
+        assert!(!noc.corrupt_next(0));
+        noc.try_inject(NodeId(0), NodeId(3), vec![0x11; 16], 0, Cycles(0))
+            .unwrap();
+        assert!(noc.corrupt_next(0));
+        assert_eq!(noc.corrupted_packets(), 1);
+        let (p, _) = run_until_delivered(&mut noc, NodeId(3), 10_000);
+        assert_eq!(p.data[0], 0x11 ^ 0xA5);
+        assert!(p.data[1..].iter().all(|&b| b == 0x11));
     }
 
     #[test]

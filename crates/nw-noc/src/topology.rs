@@ -330,17 +330,39 @@ impl Topology {
         links: Vec<Vec<Link>>,
         shared: Vec<bool>,
     ) -> Self {
+        let next_hop = Self::bfs_tables(&links, n_endpoints, &[]);
+        Topology {
+            kind,
+            n_endpoints,
+            links,
+            shared,
+            next_hop,
+        }
+    }
+
+    /// Per-destination BFS over the reverse adjacency, skipping any
+    /// directed link listed in `dead` (as `(router, port-index)` pairs).
+    /// Routers that cannot reach a destination keep `usize::MAX`.
+    fn bfs_tables(
+        links: &[Vec<Link>],
+        n_endpoints: usize,
+        dead: &[(usize, usize)],
+    ) -> Vec<Vec<usize>> {
         let nr = links.len();
+        let is_dead = |r: usize, p: usize| dead.contains(&(r, p));
         let mut next_hop = vec![vec![usize::MAX; n_endpoints]; nr];
         // Reverse adjacency for BFS from each destination endpoint.
         let mut rev: Vec<Vec<usize>> = vec![Vec::new(); nr];
         for (from, ls) in links.iter().enumerate() {
-            for l in ls {
-                rev[l.to].push(from);
+            for (port, l) in ls.iter().enumerate() {
+                if !is_dead(from, port) {
+                    rev[l.to].push(from);
+                }
             }
         }
         for r in &mut rev {
             r.sort_unstable();
+            r.dedup();
         }
         for d in 0..n_endpoints {
             // dist and the "first hop toward d" for every router.
@@ -352,10 +374,13 @@ impl Topology {
                 for &p in &rev[u] {
                     if dist[p] == usize::MAX {
                         dist[p] = dist[u] + 1;
-                        // The port at p leading to u is on a shortest path to d.
+                        // The live port at p leading to u is on a shortest
+                        // path to d.
                         let port = links[p]
                             .iter()
-                            .position(|l| l.to == u)
+                            .enumerate()
+                            .find(|&(pi, l)| l.to == u && !is_dead(p, pi))
+                            .map(|(pi, _)| pi)
                             .expect("reverse edge must exist forward");
                         next_hop[p][d] = port;
                         queue.push_back(p);
@@ -363,13 +388,21 @@ impl Topology {
                 }
             }
         }
-        Topology {
-            kind,
-            n_endpoints,
-            links,
-            shared,
-            next_hop,
-        }
+        next_hop
+    }
+
+    /// Recomputes every routing table around a set of permanently dead
+    /// directed links (`(router, port-index)` pairs) — the degraded-mode
+    /// reroute of the fault-injection layer.
+    ///
+    /// The adjacency itself is untouched, so port indices stay aligned with
+    /// [`links_of`](Self::links_of); only `next_hop` changes. Mesh/torus
+    /// tables fall back from XY dimension-order to plain BFS shortest
+    /// paths, and destinations a router can no longer reach get no entry
+    /// (both [`next_hop`](Self::next_hop) and
+    /// [`try_hops`](Self::try_hops) return `None`).
+    pub fn recompute_routes(&mut self, dead: &[(usize, usize)]) {
+        self.next_hop = Self::bfs_tables(&self.links, self.n_endpoints, dead);
     }
 
     /// The topology family.
@@ -410,17 +443,33 @@ impl Topology {
 
     /// Hop count from endpoint `a` to endpoint `b` following the routing
     /// tables (0 when `a == b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the routing table cannot reach `b` from `a` (possible
+    /// only after [`recompute_routes`](Self::recompute_routes) severed the
+    /// pair) — use [`try_hops`](Self::try_hops) on degraded topologies.
     pub fn hops(&self, a: usize, b: usize) -> usize {
+        self.try_hops(a, b)
+            .expect("routing table must reach destination")
+    }
+
+    /// Hop count from endpoint `a` to endpoint `b`, or `None` when the
+    /// routing tables no longer connect the pair (degraded topology after
+    /// permanent link faults).
+    pub fn try_hops(&self, a: usize, b: usize) -> Option<usize> {
         let mut cur = a;
         let mut hops = 0;
         while cur != b {
             let port = self.next_hop[cur][b];
-            assert_ne!(port, usize::MAX, "routing table must reach destination");
+            if port == usize::MAX {
+                return None;
+            }
             cur = self.links[cur][port].to;
             hops += 1;
             assert!(hops <= self.links.len() + 1, "routing loop detected");
         }
-        hops
+        Some(hops)
     }
 
     /// Mean hop distance over all ordered endpoint pairs.
@@ -620,5 +669,51 @@ mod tests {
     fn display_names() {
         assert_eq!(TopologyKind::FatTree.to_string(), "fat-tree");
         assert_eq!(TopologyKind::SharedBus.to_string(), "bus");
+    }
+
+    #[test]
+    fn reroute_avoids_dead_link_on_mesh() {
+        // 4x4 mesh, XY routing: 0 -> 3 goes east along row 0 through port
+        // 0->1. Kill that link; BFS must find a detour (e.g. via row 1).
+        let mut t = Topology::build(TopologyKind::Mesh, 16, 1).unwrap();
+        assert_eq!(t.hops(0, 3), 3);
+        let dead_port = t.next_hop(0, 1).unwrap();
+        assert_eq!(t.links_of(0)[dead_port].to, 1);
+        t.recompute_routes(&[(0, dead_port)]);
+        // Still reachable, two extra hops around the gap.
+        assert_eq!(t.try_hops(0, 3), Some(5));
+        assert_eq!(t.try_hops(0, 1), Some(3));
+        // The dead port is never the first hop out of router 0 any more.
+        for d in 0..16 {
+            assert_ne!(t.next_hop(0, d), Some(dead_port), "dest {d}");
+        }
+        // Reverse direction was not killed: 3 -> 0 still runs the row.
+        assert_eq!(t.try_hops(3, 0), Some(3));
+    }
+
+    #[test]
+    fn reroute_reports_disconnection() {
+        // Severing an endpoint's only outbound link on a star disconnects
+        // it outbound but leaves it reachable inbound.
+        let mut t = Topology::build(TopologyKind::Crossbar, 4, 1).unwrap();
+        t.recompute_routes(&[(0, 0)]);
+        assert_eq!(t.try_hops(0, 1), None);
+        assert_eq!(t.try_hops(1, 0), Some(2));
+        assert_eq!(t.try_hops(0, 0), Some(0));
+        assert_eq!(t.next_hop(0, 1), None);
+    }
+
+    #[test]
+    fn reroute_with_no_dead_links_matches_bfs() {
+        // An empty dead set degrades mesh XY tables to BFS shortest paths:
+        // hop counts stay identical even where port choices differ.
+        let reference = Topology::build(TopologyKind::Mesh, 16, 1).unwrap();
+        let mut t = reference.clone();
+        t.recompute_routes(&[]);
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(t.try_hops(a, b), Some(reference.hops(a, b)));
+            }
+        }
     }
 }

@@ -88,6 +88,40 @@ pub enum TraceEvent {
         /// Cycles skipped in one hop.
         span: u64,
     },
+    /// A fault campaign applied one scheduled fault.
+    FaultInjected {
+        /// Injection cycle.
+        cycle: u64,
+        /// Fault class discriminant (see `nw-fault`'s `FaultKind`; the
+        /// trace layer keeps it opaque): 0 = transient link, 1 = permanent
+        /// link, 2 = router stall, 3 = drop, 4 = corrupt, 5 = PE crash,
+        /// 6 = PE restart.
+        kind: u8,
+        /// Primary target index (router, endpoint, or PE per `kind`).
+        target: usize,
+        /// Secondary argument (port index, recovery cycle, or 0).
+        arg: u64,
+    },
+    /// The resilience layer re-issued a timed-out invocation.
+    RetryIssued {
+        /// Re-issue cycle.
+        cycle: u64,
+        /// Requesting PE.
+        pe: usize,
+        /// Requesting hardware thread.
+        thread: usize,
+        /// Attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// Degraded-mode rerouting recomputed routes around a dead link.
+    Reroute {
+        /// Recomputation cycle.
+        cycle: u64,
+        /// Router whose link died.
+        router: usize,
+        /// Dead output-port index at that router.
+        port: usize,
+    },
 }
 
 impl TraceEvent {
@@ -100,7 +134,10 @@ impl TraceEvent {
             | TraceEvent::HandlerStart { cycle, .. }
             | TraceEvent::HandlerEnd { cycle, .. }
             | TraceEvent::DeadlineMiss { cycle, .. }
-            | TraceEvent::FastForward { cycle, .. } => cycle,
+            | TraceEvent::FastForward { cycle, .. }
+            | TraceEvent::FaultInjected { cycle, .. }
+            | TraceEvent::RetryIssued { cycle, .. }
+            | TraceEvent::Reroute { cycle, .. } => cycle,
         }
     }
 }

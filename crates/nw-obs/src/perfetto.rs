@@ -11,6 +11,7 @@
 //! | 3   | `links`       | `X` complete events per link (tid = router * 256 + port), dur = serialization |
 //! | 4   | `deadlines`   | `i` instants per object (tid = object id) |
 //! | 5   | `scheduler`   | `X` complete events for fast-forwarded spans |
+//! | 6   | `faults`      | `i` instants: injections (tid 0), retries (tid 1), reroutes (tid 2) |
 //!
 //! Emitted JSON is always well formed even on truncated input: a
 //! `HandlerEnd` whose begin was evicted from the ring is skipped, and
@@ -29,6 +30,7 @@ const PID_NOC: u64 = 2;
 const PID_LINKS: u64 = 3;
 const PID_DEADLINES: u64 = 4;
 const PID_SCHED: u64 = 5;
+const PID_FAULTS: u64 = 6;
 
 /// Renders captured events (simulation order) as Chrome trace-event JSON.
 ///
@@ -56,6 +58,7 @@ pub fn export_chrome_trace(
         (PID_LINKS, "links"),
         (PID_DEADLINES, "deadlines"),
         (PID_SCHED, "scheduler"),
+        (PID_FAULTS, "faults"),
     ] {
         rows.push(format!(
             "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \"args\": {{\"name\": \"{name}\"}}}}"
@@ -128,6 +131,30 @@ pub fn export_chrome_trace(
             TraceEvent::FastForward { cycle, span } => rows.push(format!(
                 "{{\"name\": \"fast-forward\", \"ph\": \"X\", \"ts\": {cycle}, \"dur\": {span}, \"pid\": {PID_SCHED}, \"tid\": 0, \"args\": {{\"span\": {span}}}}}"
             )),
+            TraceEvent::FaultInjected {
+                cycle,
+                kind,
+                target,
+                arg,
+            } => rows.push(format!(
+                "{{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {cycle}, \"pid\": {PID_FAULTS}, \"tid\": 0, \"args\": {{\"kind\": {kind}, \"target\": {target}, \"arg\": {arg}}}}}",
+                fault_kind_name(kind)
+            )),
+            TraceEvent::RetryIssued {
+                cycle,
+                pe,
+                thread,
+                attempt,
+            } => rows.push(format!(
+                "{{\"name\": \"retry\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {cycle}, \"pid\": {PID_FAULTS}, \"tid\": 1, \"args\": {{\"pe\": {pe}, \"thread\": {thread}, \"attempt\": {attempt}}}}}"
+            )),
+            TraceEvent::Reroute {
+                cycle,
+                router,
+                port,
+            } => rows.push(format!(
+                "{{\"name\": \"reroute r{router}.p{port}\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {cycle}, \"pid\": {PID_FAULTS}, \"tid\": 2, \"args\": {{\"router\": {router}, \"port\": {port}}}}}"
+            )),
         }
     }
     // Close every span still open at capture end so B/E always pair.
@@ -144,6 +171,20 @@ pub fn export_chrome_trace(
     }
     s.push_str("]\n}\n");
     s
+}
+
+/// Human-readable label for a [`TraceEvent::FaultInjected`] discriminant.
+fn fault_kind_name(kind: u8) -> &'static str {
+    match kind {
+        0 => "link-transient",
+        1 => "link-dead",
+        2 => "router-stall",
+        3 => "drop",
+        4 => "corrupt",
+        5 => "pe-crash",
+        6 => "pe-restart",
+        _ => "fault",
+    }
 }
 
 fn write_heatmap(s: &mut String, h: &NocHeatmap) {
@@ -519,6 +560,23 @@ mod tests {
                 cycle: 7,
                 span: 120,
             },
+            TraceEvent::FaultInjected {
+                cycle: 8,
+                kind: 1,
+                target: 5,
+                arg: 0,
+            },
+            TraceEvent::Reroute {
+                cycle: 8,
+                router: 5,
+                port: 0,
+            },
+            TraceEvent::RetryIssued {
+                cycle: 9,
+                pe: 1,
+                thread: 3,
+                attempt: 1,
+            },
         ]
     }
 
@@ -527,10 +585,13 @@ mod tests {
         let json = export_chrome_trace(&sample_events(), 3, None);
         let check = validate_chrome_trace(&json).expect("own output validates");
         assert_eq!(check.spans, 1);
-        assert_eq!(check.instants, 3);
+        assert_eq!(check.instants, 6);
         assert_eq!(check.completes, 2);
-        assert_eq!(check.max_ts, 7);
+        assert_eq!(check.max_ts, 9);
         assert!(json.contains("\"droppedEvents\": 3"));
+        assert!(json.contains("\"name\": \"link-dead\""));
+        assert!(json.contains("\"name\": \"reroute r5.p0\""));
+        assert!(json.contains("\"attempt\": 1"));
     }
 
     #[test]

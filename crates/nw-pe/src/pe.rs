@@ -177,6 +177,11 @@ pub struct Pe {
     /// when enabled via [`Pe::set_retire_log`] (tracing). `None` keeps the
     /// retire path allocation-free when no one is watching.
     retire_log: Option<Vec<ThreadId>>,
+    /// Crashed by fault injection: every context is dead and refuses new
+    /// tasks until [`Pe::restart`]. A crashed PE ticks as a pure
+    /// accounting no-op (all threads idle), so schedulers need no special
+    /// case.
+    crashed: bool,
 }
 
 impl Pe {
@@ -203,6 +208,7 @@ impl Pe {
             mem_energy: Picojoules::ZERO,
             accounted_to: 0,
             retire_log: None,
+            crashed: false,
         }
     }
 
@@ -236,8 +242,11 @@ impl Pe {
         matches!(self.threads[tid.0].state, ThreadState::Idle)
     }
 
-    /// Number of idle contexts ready to accept a task.
+    /// Number of idle contexts ready to accept a task (0 while crashed).
     pub fn idle_threads(&self) -> usize {
+        if self.crashed {
+            return 0;
+        }
         self.threads
             .iter()
             .filter(|t| matches!(t.state, ThreadState::Idle))
@@ -251,6 +260,9 @@ impl Pe {
     /// Returns [`SpawnError`] when every context is occupied — the caller
     /// (the DSOC dispatcher) should queue the invocation and retry.
     pub fn spawn(&mut self, program: Program) -> Result<ThreadId, SpawnError> {
+        if self.crashed {
+            return Err(SpawnError);
+        }
         let slot = self
             .threads
             .iter()
@@ -286,6 +298,69 @@ impl Pe {
             "complete() on {tid} which is not awaiting completion"
         );
         t.state = ThreadState::Ready;
+    }
+
+    /// Whether thread `tid` is stalled awaiting a platform completion.
+    /// The resilience layer's guard before [`Pe::complete`]: a reply for a
+    /// thread that crashed (or already gave up) must be discarded, not
+    /// delivered.
+    pub fn is_awaiting(&self, tid: ThreadId) -> bool {
+        matches!(self.threads[tid.0].state, ThreadState::AwaitingCompletion)
+    }
+
+    /// Whether this PE is crashed (fault injection).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Crash this PE at `now`: every context dies mid-task, pending
+    /// platform requests are discarded, and the PE refuses new work until
+    /// [`Pe::restart`]. Returns every marshalled payload buffer the PE
+    /// owned (unexecuted op payloads plus undrained request payloads) so
+    /// the platform can recycle them into its payload pool — a crashed PE
+    /// must not leak pooled buffers.
+    ///
+    /// Killed tasks count as neither completed nor retired.
+    pub fn crash(&mut self, now: Cycles) -> Vec<Vec<u8>> {
+        self.settle_accounting(now);
+        self.crashed = true;
+        self.swap_remaining = 0;
+        self.current = 0;
+        let mut harvested = Vec::new();
+        for (_, req) in std::mem::take(&mut self.requests) {
+            match req {
+                PeRequest::Send { data, .. } | PeRequest::Call { data, .. } => {
+                    harvested.push(data);
+                }
+            }
+        }
+        for t in &mut self.threads {
+            t.state = ThreadState::Idle;
+            let pc = std::mem::take(&mut t.pc);
+            if let Some(prog) = t.program.take() {
+                // Only ops the thread never issued: an executed Send/Call
+                // already cloned its payload into the request stream, where
+                // normal wire-side recycling (or the request drain above)
+                // accounts for it — harvesting the program's copy too
+                // would over-return to the pool.
+                for op in prog.into_ops().into_iter().skip(pc) {
+                    match op {
+                        Op::Send { data, .. } | Op::Call { data, .. } => harvested.push(data),
+                        Op::Compute(_) | Op::LocalMem { .. } => {}
+                    }
+                }
+            }
+        }
+        harvested
+    }
+
+    /// Restart a crashed PE at `now` with cold, idle contexts. No-op when
+    /// not crashed.
+    pub fn restart(&mut self, now: Cycles) {
+        if self.crashed {
+            self.settle_accounting(now);
+            self.crashed = false;
+        }
     }
 
     /// Drains the requests raised since the last call.
@@ -891,6 +966,84 @@ mod tests {
             assert_eq!(x.to_bits(), y.to_bits());
         }
         assert_eq!(a.energy.0.to_bits(), b.energy.0.to_bits());
+    }
+
+    #[test]
+    fn crash_harvests_buffers_and_kills_threads() {
+        let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 2));
+        // Thread 0 will be awaiting a call (request drained by the owner);
+        // thread 1 holds an unexecuted send with a payload.
+        let t0 = pe
+            .spawn(Program::straight_line([Op::Call {
+                dst: NodeId(1),
+                bytes: 8,
+                reply_bytes: 8,
+                data: vec![1, 2, 3],
+            }]))
+            .unwrap();
+        pe.spawn(Program::straight_line([
+            Op::Compute(50),
+            Op::Send {
+                dst: NodeId(2),
+                bytes: 4,
+                data: vec![9, 9],
+                tag: 0,
+            },
+        ]))
+        .unwrap();
+        run(&mut pe, 3);
+        // Leave thread 0's request undrained so crash harvests it too.
+        assert!(pe.has_requests());
+        assert!(pe.is_awaiting(t0));
+        let harvested = pe.crash(Cycles(3));
+        assert!(pe.is_crashed());
+        assert!(!pe.is_live());
+        assert_eq!(pe.idle_threads(), 0);
+        assert!(!pe.is_awaiting(t0));
+        assert!(!pe.has_requests());
+        // Both payloads recovered: the drained request's and the
+        // unexecuted op's.
+        let mut lens: Vec<usize> = harvested.iter().map(Vec::len).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![2, 3]);
+        assert_eq!(
+            pe.spawn(Program::straight_line([Op::Compute(1)])),
+            Err(SpawnError)
+        );
+        assert_eq!(pe.tasks_completed(), 0, "killed tasks never complete");
+        // Ticking a crashed PE is a pure accounting no-op.
+        run(&mut pe, 10);
+        assert_eq!(pe.tasks_completed(), 0);
+        // Restart brings cold contexts back.
+        pe.restart(Cycles(13));
+        assert!(!pe.is_crashed());
+        assert_eq!(pe.idle_threads(), 2);
+        pe.spawn(Program::straight_line([Op::Compute(2)])).unwrap();
+        for c in 13..20 {
+            pe.tick(Cycles(c));
+        }
+        assert_eq!(pe.tasks_completed(), 1);
+    }
+
+    #[test]
+    fn crash_is_deterministic_and_restart_idempotent() {
+        let mk = || {
+            let mut pe = Pe::new(PeConfig::new(PeClass::GpRisc, 2));
+            pe.spawn(Program::straight_line([Op::Compute(20)])).unwrap();
+            for c in 0..5 {
+                pe.tick(Cycles(c));
+            }
+            pe.crash(Cycles(5));
+            pe.restart(Cycles(9));
+            pe.restart(Cycles(9)); // idempotent
+            pe.spawn(Program::straight_line([Op::Compute(3)])).unwrap();
+            for c in 9..20 {
+                pe.tick(Cycles(c));
+            }
+            let s = pe.stats();
+            (s.tasks_completed, s.core_utilization.to_bits(), s.swaps)
+        };
+        assert_eq!(mk(), mk());
     }
 
     #[test]

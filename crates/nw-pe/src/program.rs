@@ -113,6 +113,13 @@ impl Program {
         &self.ops
     }
 
+    /// Consumes the program, yielding its ops — the fault layer harvests
+    /// marshalled payload buffers from unexecuted ops when a PE crashes,
+    /// so pooled buffers are recycled instead of leaked.
+    pub fn into_ops(self) -> Vec<Op> {
+        self.ops
+    }
+
     /// Op at `pc`, if within the program.
     pub fn op(&self, pc: usize) -> Option<&Op> {
         self.ops.get(pc)

@@ -1,0 +1,167 @@
+//! Fault-injection differential suite: the determinism contract with
+//! faults **on**.
+//!
+//! The fault subsystem's hard invariant has two halves. Faults *off* must
+//! be bit-identical to a build that has never heard of `nw-fault` — that
+//! half is covered by `scheduler_differential.rs` running unchanged.
+//! Faults *on* must be bit-identical (a) across `SchedulerMode::Dense`
+//! and `SchedulerMode::ActiveSet`, and (b) across repeats of the same
+//! campaign seed — a fault timeline is a pure function of
+//! `(seed, horizon, rates, shape)` and its application is part of the
+//! deterministic phase order, so nothing may depend on which scheduler
+//! stepped the cycles.
+
+use nanowall::{FaultCampaign, FaultRates, RetryPolicy, ScenarioRegistry, SchedulerMode};
+
+/// Runs scenario `name` with a seeded campaign and the default retry
+/// policy installed, under `mode`, and returns the report.
+fn run_faulted(
+    name: &str,
+    mode: SchedulerMode,
+    seed: u64,
+    level: f64,
+    cycles: u64,
+) -> nanowall::PlatformReport {
+    let reg = ScenarioRegistry::standard();
+    let mut rig = reg.build(name, true).expect("registered scenario");
+    rig.platform.set_scheduler_mode(mode);
+    let shape = rig.platform.fault_shape();
+    let campaign = FaultCampaign::generate(seed, cycles, &FaultRates::scaled(level), &shape);
+    rig.platform.install_fault_campaign(campaign);
+    rig.platform.set_retry_policy(RetryPolicy {
+        timeout: 2_000,
+        max_attempts: 3,
+    });
+    rig.run(cycles)
+}
+
+#[test]
+fn faulted_runs_are_bit_identical_across_schedulers() {
+    for name in ScenarioRegistry::standard().names() {
+        let dense = run_faulted(name, SchedulerMode::Dense, 0xFA17, 2.0, 20_000);
+        let active = run_faulted(name, SchedulerMode::ActiveSet, 0xFA17, 2.0, 20_000);
+        assert_eq!(
+            dense, active,
+            "{name}: faulted active-set run diverged from the dense reference"
+        );
+        // Not vacuous: the campaign must actually have fired.
+        assert!(
+            dense.resilience.faults_injected > 0,
+            "{name}: campaign injected nothing"
+        );
+        assert!(dense.tasks_completed > 0, "{name} must still do work");
+    }
+}
+
+#[test]
+fn faulted_runs_repeat_bit_identically_per_seed() {
+    let a = run_faulted("mix", SchedulerMode::ActiveSet, 7, 2.0, 20_000);
+    let b = run_faulted("mix", SchedulerMode::ActiveSet, 7, 2.0, 20_000);
+    assert_eq!(a, b, "same seed must replay the same run");
+    let c = run_faulted("mix", SchedulerMode::ActiveSet, 8, 2.0, 20_000);
+    assert_ne!(
+        a.resilience, c.resilience,
+        "a different seed should schedule a different campaign"
+    );
+}
+
+#[test]
+fn pe_crashes_do_not_leak_pooled_buffers() {
+    // The crash path's resource-hygiene half: killing a PE mid-call
+    // harvests its owned buffers, cancels its retry entries (recycling the
+    // stored payload clones), and the dispatch queue backs up gracefully.
+    // On a finite no-I/O rig the platform still quiesces with a balanced
+    // pool ledger, under both schedulers, and the two runs stay identical.
+    use nanowall::prelude::*;
+    use nanowall::MemoryBlockConfig;
+
+    let run_mode = |mode: SchedulerMode| {
+        let mut cfg = FppaConfig::new("crash-conservation", TopologyKind::Mesh);
+        for _ in 0..4 {
+            cfg.add_pe(PeConfig::new(PeClass::GpRisc, 2));
+        }
+        cfg.add_memory(MemoryBlockConfig::new(MemoryTechnology::Sram, 2.0));
+        let mut platform = FppaPlatform::new(cfg).expect("config valid");
+        platform.set_scheduler_mode(mode);
+        let sram = platform.memory_node(0);
+        let prog = nw_pe::Program::straight_line([
+            nw_pe::Op::Compute(10),
+            nw_pe::Op::call(sram, 16, 48),
+            nw_pe::Op::Compute(5),
+            nw_pe::Op::call(sram, 8, 8),
+        ]);
+        for pe in 0..4 {
+            while platform.pe(pe).idle_threads() > 0 {
+                platform.pe_mut(pe).spawn(prog.clone()).unwrap();
+            }
+        }
+        // Crash/restart pairs only; the seeded draw picks the victims.
+        let mut rates = FaultRates::quiet();
+        rates.pe_crashes = 2;
+        rates.pe_downtime = (500, 2_000);
+        let shape = platform.fault_shape();
+        let campaign = FaultCampaign::generate(11, 8_000, &rates, &shape);
+        assert!(!campaign.events().is_empty());
+        platform.install_fault_campaign(campaign);
+        platform.set_retry_policy(RetryPolicy {
+            timeout: 1_000,
+            max_attempts: 2,
+        });
+        const WINDOW: u64 = 40_000;
+        for _ in 0..WINDOW {
+            platform.step();
+        }
+        assert_eq!(
+            platform.payload_outstanding(),
+            0,
+            "{mode:?}: crash path leaked payload buffers"
+        );
+        platform.report(Cycles(WINDOW))
+    };
+
+    let dense = run_mode(SchedulerMode::Dense);
+    let active = run_mode(SchedulerMode::ActiveSet);
+    assert_eq!(dense, active, "crash-conservation rig diverged");
+    assert!(dense.resilience.pe_crashes > 0, "no crash fired");
+}
+
+#[test]
+fn hop_matrix_invalidates_when_a_link_dies() {
+    // Satellite regression: `hop_matrix` is cached in a `OnceCell`; before
+    // the fault subsystem the topology was immutable so the cache could
+    // never go stale. Killing a link must invalidate it, and disconnected
+    // pairs must read infinite.
+    let reg = ScenarioRegistry::standard();
+    let rig = reg.build("ipv4", true).expect("registered scenario");
+    let mut platform = rig.platform;
+    let before = platform.hop_matrix();
+    let n = before.len();
+    assert!(n > 1);
+    assert!(
+        before.iter().flatten().all(|h| h.is_finite()),
+        "healthy topology has finite hop counts"
+    );
+
+    // Kill every output of router 0: any endpoint pair routed through it
+    // must change its hop count (or become unreachable).
+    let shape = platform.fault_shape();
+    let mut killed = 0;
+    for port in 0..shape.router_ports[0] {
+        if platform.fail_noc_link(0, port) {
+            killed += 1;
+        }
+    }
+    assert!(killed > 0, "router 0 must have links to kill");
+    let after = platform.hop_matrix();
+    assert_ne!(
+        before, after,
+        "hop matrix did not recompute after links died"
+    );
+    assert_eq!(platform.resilience_stats().links_failed, killed);
+
+    // Idempotence: re-failing a dead link neither recounts nor recomputes.
+    let repeat = platform.fail_noc_link(0, 0);
+    assert!(!repeat, "re-failing a dead link must be a no-op");
+    assert_eq!(platform.resilience_stats().links_failed, killed);
+    assert_eq!(platform.hop_matrix(), after);
+}
