@@ -71,6 +71,33 @@ impl SweepEntry {
     }
 }
 
+/// One cold-rewarmup vs warm-fork measurement of a sweep grid: the same
+/// grid timed under its standard protocol (every point warmed from cycle
+/// 0) and under `--warm-fork` (one warmed snapshot forked per point).
+#[derive(Debug, Clone)]
+pub struct WarmForkEntry {
+    /// Grid label.
+    pub name: String,
+    /// Wall-clock of the full-rewarmup (cold) protocol.
+    pub cold_secs: f64,
+    /// Wall-clock of the warm-fork protocol.
+    pub fork_secs: f64,
+    /// Whether two warm-fork runs produced identical grids (the fork path
+    /// must stay deterministic to be trustworthy).
+    pub deterministic: bool,
+}
+
+impl WarmForkEntry {
+    /// Cold time over fork time.
+    pub fn speedup(&self) -> f64 {
+        if self.fork_secs > 0.0 {
+            self.cold_secs / self.fork_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Wall-clock of one registered experiment.
 #[derive(Debug, Clone)]
 pub struct ExptTiming {
@@ -91,6 +118,8 @@ pub struct BenchReport {
     pub scheduler: Vec<SchedEntry>,
     /// Sweep-scaling comparisons.
     pub sweeps: Vec<SweepEntry>,
+    /// Cold-rewarmup vs warm-fork grid timings.
+    pub warm_fork: Vec<WarmForkEntry>,
     /// Per-experiment timings.
     pub experiments: Vec<ExptTiming>,
     /// Host-side phase profiles (`host_phase_breakdown` in the JSON).
@@ -141,6 +170,22 @@ impl BenchReport {
                 e.threads,
                 e.identical,
                 if i + 1 < self.sweeps.len() { "," } else { "" }
+            );
+        }
+        // Warm-fork grid rows are keyed "grid" (not "name") so the
+        // delta-table line scanner below never mistakes them for
+        // scheduler entries.
+        s.push_str("  ],\n  \"warm_fork_grids\": [\n");
+        for (i, e) in self.warm_fork.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"grid\": \"{}\", \"cold_secs\": {}, \"fork_secs\": {}, \"speedup\": {}, \"deterministic\": {}}}{}",
+                e.name,
+                json_f(e.cold_secs),
+                json_f(e.fork_secs),
+                json_f(e.speedup()),
+                e.deterministic,
+                if i + 1 < self.warm_fork.len() { "," } else { "" }
             );
         }
         s.push_str("  ],\n  \"experiments\": [\n");
@@ -230,6 +275,40 @@ impl BenchReport {
                 let _ = writeln!(s, "  {name:<22} removed since baseline");
             }
         }
+        if !self.warm_fork.is_empty() {
+            let base_wf = parse_warm_fork_entries(baseline_json);
+            let _ = writeln!(
+                s,
+                "BENCH  warm-fork delta (fork-grid wall-clock vs committed baseline)"
+            );
+            for e in &self.warm_fork {
+                match base_wf.iter().find(|(n, _)| n == &e.name) {
+                    Some((_, base_fork)) if *base_fork > 0.0 => {
+                        let _ = writeln!(
+                            s,
+                            "  {:<22} fork {:>8.4}s -> {:>8.4}s  (cold now {:.4}s, {:.1}x)  deterministic={}",
+                            e.name,
+                            base_fork,
+                            e.fork_secs,
+                            e.cold_secs,
+                            e.speedup(),
+                            e.deterministic
+                        );
+                    }
+                    _ => {
+                        let _ = writeln!(
+                            s,
+                            "  {:<22} fork {:>8.4}s  (new grid; cold {:.4}s, {:.1}x)  deterministic={}",
+                            e.name,
+                            e.fork_secs,
+                            e.cold_secs,
+                            e.speedup(),
+                            e.deterministic
+                        );
+                    }
+                }
+            }
+        }
         s
     }
 
@@ -269,6 +348,23 @@ impl BenchReport {
                 e.identical
             );
         }
+        if !self.warm_fork.is_empty() {
+            let _ = writeln!(
+                s,
+                "BENCH  warm-fork grids (full rewarmup vs one warmed snapshot forked per point)"
+            );
+            for e in &self.warm_fork {
+                let _ = writeln!(
+                    s,
+                    "  {:<22} cold {:>8.4}s  fork {:>8.4}s  {:>5.1}x  deterministic={}",
+                    e.name,
+                    e.cold_secs,
+                    e.fork_secs,
+                    e.speedup(),
+                    e.deterministic
+                );
+            }
+        }
         let _ = writeln!(s, "BENCH  experiment wall-clock");
         for e in &self.experiments {
             let _ = writeln!(s, "  {:<6} {:>8.4}s", e.id, e.secs);
@@ -297,6 +393,25 @@ fn parse_scheduler_entries(json: &str) -> Vec<(String, f64)> {
             let name = field(line, "\"name\": ")?;
             let cps: f64 = field(line, "\"active_cycles_per_sec\": ")?.parse().ok()?;
             Some((name.to_owned(), cps))
+        })
+        .collect()
+}
+
+/// Extracts `(grid, fork_secs)` pairs from the warm-fork rows of a
+/// `BENCH_platform.json` — the same line-scanner idiom as
+/// [`parse_scheduler_entries`], keyed on the fields only those rows carry.
+fn parse_warm_fork_entries(json: &str) -> Vec<(String, f64)> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let start = line.find(key)? + key.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    json.lines()
+        .filter_map(|line| {
+            let name = field(line, "\"grid\": ")?;
+            let fork: f64 = field(line, "\"fork_secs\": ")?.parse().ok()?;
+            Some((name.to_owned(), fork))
         })
         .collect()
 }
@@ -345,6 +460,27 @@ fn sweep_case(name: &str, run: &dyn Fn() -> String) -> SweepEntry {
         parallel_secs,
         threads,
         identical: serial_out == parallel_out,
+    }
+}
+
+fn warm_fork_case(
+    name: &str,
+    cold: &dyn Fn() -> String,
+    fork: &dyn Fn() -> String,
+) -> WarmForkEntry {
+    let t = Instant::now();
+    let _ = cold();
+    let cold_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let first = fork();
+    let fork_secs = t.elapsed().as_secs_f64();
+    // The fork grid runs twice so determinism is measured, not assumed.
+    let second = fork();
+    WarmForkEntry {
+        name: name.to_owned(),
+        cold_secs,
+        fork_secs,
+        deterministic: first == second,
     }
 }
 
@@ -445,6 +581,15 @@ pub fn run_bench(quick: bool) -> BenchReport {
         }),
     ];
 
+    // The T11 grid under `--warm-fork` (one warmed snapshot, rates retuned
+    // per point) timed against its full-rewarmup protocol. Same grid
+    // points, same window; the fork path skips per-point warmup.
+    let warm_fork = vec![warm_fork_case(
+        "t11-mix-grid",
+        &|| format!("{:?}", crate::experiments::t11_mix::bench_grid(true, false)),
+        &|| format!("{:?}", crate::experiments::t11_mix::bench_grid(true, true)),
+    )];
+
     let experiments = ALL_IDS
         .iter()
         .map(|id| {
@@ -463,6 +608,7 @@ pub fn run_bench(quick: bool) -> BenchReport {
         sweep_threads: nw_sim::sweep_threads(),
         scheduler,
         sweeps,
+        warm_fork,
         experiments,
         profile: crate::obs::run_profile(quick, None),
     }
@@ -521,6 +667,12 @@ mod tests {
                 threads: 4,
                 identical: true,
             }],
+            warm_fork: vec![WarmForkEntry {
+                name: "wf".into(),
+                cold_secs: 0.6,
+                fork_secs: 0.2,
+                deterministic: true,
+            }],
             experiments: vec![ExptTiming {
                 id: "t1".into(),
                 secs: 0.01,
@@ -547,8 +699,13 @@ mod tests {
         assert!(j.contains("\"host_phase_breakdown\""));
         assert!(j.contains("\"rig\": \"mix\""));
         assert!(j.contains("\"noc_tick\": 0.250000"));
-        // Profile rows must never parse as scheduler baseline entries.
+        assert!(j.contains("\"warm_fork_grids\""));
+        assert!(j.contains("\"grid\": \"wf\""));
+        assert!(j.contains("\"speedup\": 3.000000"));
+        // Profile and warm-fork rows must never parse as scheduler
+        // baseline entries.
         assert_eq!(parse_scheduler_entries(&j).len(), r.scheduler.len());
+        assert_eq!(parse_warm_fork_entries(&j), vec![("wf".to_owned(), 0.2)]);
         assert_eq!(
             j.matches('{').count(),
             j.matches('}').count(),
@@ -581,12 +738,19 @@ mod tests {
                 },
             ],
             sweeps: Vec::new(),
+            warm_fork: vec![WarmForkEntry {
+                name: "t11-mix-grid".into(),
+                cold_secs: 0.8,
+                fork_secs: 0.4,
+                deterministic: true,
+            }],
             experiments: Vec::new(),
             profile: Vec::new(),
         };
         let mut new = base.clone();
         new.scheduler[0].active_cycles_per_sec = 2500.0;
         new.scheduler[1].name = "fresh".into();
+        new.warm_fork[0].fork_secs = 0.3;
         let table = new.delta_table(&base.to_json());
         assert!(table.contains("riga"), "{table}");
         assert!(table.contains("2.50x"), "2.5x speedup row: {table}");
@@ -595,6 +759,15 @@ mod tests {
             table.contains("gone") && table.contains("removed"),
             "{table}"
         );
+        assert!(
+            table.contains("fork   0.4000s ->   0.3000s"),
+            "warm-fork delta row: {table}"
+        );
+
+        let mut unseen = new.clone();
+        unseen.warm_fork[0].name = "brand-new-grid".into();
+        let table = unseen.delta_table(&base.to_json());
+        assert!(table.contains("(new grid;"), "{table}");
     }
 
     #[test]

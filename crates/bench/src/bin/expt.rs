@@ -11,19 +11,22 @@
 //! expt lint --json    # machine-readable findings for CI
 //! expt lint --rules   # the rule registry (id + one-line contract)
 //! expt faults [--quick] [--seed N]           # fault-injection parity harness
+//! expt snapshot [--quick] [--seed N]         # checkpoint round-trip bit-identity matrix
 //! expt trace --scenario mix --out mix.json   # Perfetto trace of a scenario
 //! expt profile [--quick]                     # host-side phase breakdown
+//! expt t11 --warm-fork                       # sweep grids off one warmed snapshot
 //! expt --help         # the subcommand table
 //! ```
 //!
 //! Exit codes follow one convention across every subcommand: `0` success,
 //! `1` a check failed or output could not be written (lint findings,
-//! scheduler/parity divergence, I/O errors), `2` usage (unknown
-//! subcommand/experiment/scenario, malformed flag values — including a bad
-//! `--seed`, which parses uniformly via [`obs::take_seed_flag`] wherever
-//! it is accepted: `bench`, `trace`, `profile`, `faults`).
+//! scheduler/parity divergence, snapshot round-trip divergence, I/O
+//! errors), `2` usage (unknown subcommand/experiment/scenario, malformed
+//! flag values — including a bad `--seed`, which parses uniformly via
+//! [`obs::take_seed_flag`] wherever it is accepted: `bench`, `trace`,
+//! `profile`, `faults`, `snapshot`).
 
-use nw_bench::experiments::{run_by_id, ALL_IDS, EXPERIMENTS};
+use nw_bench::experiments::{run_by_id, run_by_id_warm_fork, ALL_IDS, EXPERIMENTS};
 use nw_bench::obs;
 
 /// Parses the uniform `--seed` flag out of `args`, exiting 2 on a
@@ -193,6 +196,21 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("snapshot") {
+        let mut rest = args[1..].to_vec();
+        let seed = take_seed_or_usage(&mut rest, "snapshot");
+        if let Some(bad) = rest.iter().find(|a| *a != "--quick") {
+            eprintln!("usage: expt snapshot [--quick] [--seed <u64>] (unknown argument: {bad})");
+            std::process::exit(2);
+        }
+        let quick = rest.iter().any(|a| a == "--quick");
+        let check = nw_bench::snapshot::run_snapshot_check(quick, seed);
+        print!("{}", check.table);
+        if !check.ok {
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.first().map(String::as_str) == Some("lint") {
         let json = args.iter().any(|a| a == "--json");
         let rules = args.iter().any(|a| a == "--rules");
@@ -207,6 +225,7 @@ fn main() {
     let seed = take_seed_or_usage(&mut args, "bench");
     let fast = args.iter().any(|a| a == "--fast");
     let quick = args.iter().any(|a| a == "--quick");
+    let warm_fork = args.iter().any(|a| a == "--warm-fork");
     // `--baseline <path>`: after a bench run, print a delta table against a
     // previously committed BENCH_platform.json (informational; only
     // bit-identity divergence fails the run, never timing).
@@ -227,7 +246,7 @@ fn main() {
                 skip_next = true;
                 return false;
             }
-            *a != "--fast" && *a != "--quick"
+            *a != "--fast" && *a != "--quick" && *a != "--warm-fork"
         })
         .map(String::as_str)
         .collect();
@@ -273,7 +292,7 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: expt [--fast] <list | all | bench | lint | faults | trace | profile | {}> (see `expt --help`)",
+            "usage: expt [--fast] [--warm-fork] <list | all | bench | lint | faults | snapshot | trace | profile | {}> (see `expt --help`)",
             ALL_IDS.join(" | ")
         );
         std::process::exit(2);
@@ -284,7 +303,12 @@ fn main() {
         ids
     };
     for id in selected {
-        match run_by_id(id, fast) {
+        let out = if warm_fork {
+            run_by_id_warm_fork(id, fast)
+        } else {
+            run_by_id(id, fast)
+        };
+        match out {
             Some(out) => {
                 println!("{out}");
             }

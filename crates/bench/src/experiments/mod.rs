@@ -11,6 +11,7 @@ pub mod f7_productivity;
 pub mod t10_crypto;
 pub mod t11_mix;
 pub mod t12_resilience;
+pub mod t13_replicas;
 pub mod t1_mask_nre;
 pub mod t2_breakeven;
 pub mod t3_ipv4;
@@ -32,7 +33,7 @@ pub struct Experiment {
 }
 
 /// Every experiment in DESIGN.md order.
-pub const EXPERIMENTS: [Experiment; 19] = [
+pub const EXPERIMENTS: [Experiment; 20] = [
     Experiment {
         id: "t1",
         title: "mask-set NRE by technology node",
@@ -102,6 +103,11 @@ pub const EXPERIMENTS: [Experiment; 19] = [
         title: "resilience grid: goodput/p99/retries/misses vs injected fault rate",
     },
     Experiment {
+        id: "t13",
+        title:
+            "replica spread: one warmed snapshot forked across fault seeds (min/median/max + CI)",
+    },
+    Experiment {
         id: "f1",
         title: "platform-continuum positioning",
     },
@@ -133,11 +139,27 @@ pub fn run_by_id(id: &str, fast: bool) -> Option<String> {
         "t10" => t10_crypto::run(fast).table,
         "t11" => t11_mix::run(fast).table,
         "t12" => t12_resilience::run(fast).table,
+        "t13" => t13_replicas::run(fast).table,
         "f1" => f1_continuum::run().table,
         "f2" => f2_fppa_tour::run(fast).table,
         _ => return None,
     };
     Some(out)
+}
+
+/// Runs one experiment by id under the warm-fork protocol (`expt <id>
+/// --warm-fork`): sweep grids that can share a warmed platform snapshot do
+/// (`t11` forks one warmed rig per point, `t5` shares each size's prefix
+/// set across engines); grids whose axes are structural run cold and label
+/// themselves accordingly (`t3`). Every other experiment has no sweep to
+/// warm, so the flag is a no-op and the standard protocol runs.
+pub fn run_by_id_warm_fork(id: &str, fast: bool) -> Option<String> {
+    match id {
+        "t3" => Some(t3_ipv4::run_warm_fork(fast).table),
+        "t5" => Some(t5_lpm::run_warm_fork(fast).table),
+        "t11" => Some(t11_mix::run_warm_fork(fast).table),
+        _ => run_by_id(id, fast),
+    }
 }
 
 /// All experiment ids in DESIGN.md order (derived from [`EXPERIMENTS`]).

@@ -129,9 +129,31 @@ pub fn run(fast: bool) -> T3Result {
     }
 }
 
+/// T3 under `--warm-fork`: runs the standard cold protocol, because there
+/// is nothing a shared snapshot could honestly buy here — both sweep axes
+/// (worker-PE replicas, hardware threads per PE) are *structural*, so every
+/// grid point builds a differently-shaped platform and no warmed state can
+/// be shared across points. The title says so rather than pretending.
+pub fn run_warm_fork(fast: bool) -> T3Result {
+    let mut r = run(fast);
+    r.table = r.table.replacen(
+        "T3  ",
+        "T3  [warm-fork requested: sweep axes are structural, cold protocol used]  ",
+        1,
+    );
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn warm_fork_falls_back_to_the_cold_protocol_and_says_so() {
+        let warm = run_warm_fork(true);
+        assert!(warm.table.contains("structural"), "{}", warm.table);
+        assert_eq!(warm.sweep.len(), run(true).sweep.len());
+    }
 
     #[test]
     fn line_rate_reached_with_enough_workers() {

@@ -21,6 +21,7 @@ pub mod bench;
 pub mod experiments;
 pub mod faults;
 pub mod obs;
+pub mod snapshot;
 pub mod table;
 
 pub use table::Table;

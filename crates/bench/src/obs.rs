@@ -28,7 +28,7 @@ pub const SUBCOMMANDS: &[(&str, &str)] = &[
     ("all", "run every experiment in DESIGN.md order"),
     (
         "<id>...",
-        "run selected experiments (see `expt list` for ids)",
+        "run selected experiments (see `expt list` for ids; --warm-fork shares one warmed snapshot across sweep-grid points)",
     ),
     (
         "bench",
@@ -41,6 +41,10 @@ pub const SUBCOMMANDS: &[(&str, &str)] = &[
     (
         "faults",
         "fault-injection determinism harness: seeded campaigns, scheduler parity (--quick, --seed)",
+    ),
+    (
+        "snapshot",
+        "checkpoint/restore bit-identity matrix: schedulers x faults x trace; non-zero on divergence (--quick, --seed)",
     ),
     (
         "trace",

@@ -1,0 +1,206 @@
+//! `expt snapshot` — the checkpoint/restore bit-identity harness.
+//!
+//! Runs the full correctness matrix of the snapshot contract on a
+//! registered scenario: {dense, active-set} scheduler × {faultless, seeded
+//! campaign} × {untraced, trace sink installed}. Each cell compares an
+//! uninterrupted `run(a); run(b)` against the same split replayed through a
+//! snapshot — once on a platform rebuilt with
+//! [`FppaPlatform::from_snapshot`], and once on the original platform run
+//! *ahead* and then [`FppaPlatform::restore`]d — requiring byte-identical
+//! [`nanowall::PlatformReport`]s in both cases. Any divergence anywhere in
+//! the matrix is a snapshot bug and fails the run (exit 1), which is what
+//! lets CI gate on it.
+
+use nanowall::{
+    FaultCampaign, FaultRates, FppaPlatform, RetryPolicy, RingBufferSink, ScenarioRegistry,
+    SchedulerMode,
+};
+use nw_sim::parallel_map;
+use std::fmt::Write as _;
+
+/// The scenario the matrix runs on: line-rate I/O, DSOC dispatch, latency
+/// telemetry — the state-heaviest registered rig.
+const SCENARIO: &str = "ipv4";
+
+/// Default campaign seed for the faulted cells (`--seed` overrides).
+const DEFAULT_SEED: u64 = 7;
+
+/// One cell of the round-trip matrix.
+#[derive(Debug, Clone)]
+pub struct SnapshotCell {
+    /// Scheduler mode under test.
+    pub mode: SchedulerMode,
+    /// Whether a seeded fault campaign (plus retry layer) was active.
+    pub faulted: bool,
+    /// Whether a trace sink was installed on the snapshotted platform.
+    pub traced: bool,
+    /// `from_snapshot` replay matched the uninterrupted run.
+    pub fresh_identical: bool,
+    /// In-place `restore` replay (after running ahead) matched it too.
+    pub restore_identical: bool,
+}
+
+/// The whole matrix plus its rendering.
+#[derive(Debug)]
+pub struct SnapshotCheck {
+    /// All eight cells, dense-first.
+    pub cells: Vec<SnapshotCell>,
+    /// Rendered table.
+    pub table: String,
+    /// True when every cell round-tripped bit-identically.
+    pub ok: bool,
+}
+
+/// Installs the harness's standard faulted-run pair, identical on the
+/// reference and snapshot platforms of a cell.
+fn arm(platform: &mut FppaPlatform, seed: u64, horizon: u64) {
+    let shape = platform.fault_shape();
+    platform.install_fault_campaign(FaultCampaign::generate(
+        seed,
+        horizon,
+        &FaultRates::scaled(1.0),
+        &shape,
+    ));
+    platform.set_retry_policy(RetryPolicy::default());
+}
+
+fn check_cell(
+    mode: SchedulerMode,
+    faulted: bool,
+    traced: bool,
+    seed: u64,
+    a: u64,
+    b: u64,
+) -> SnapshotCell {
+    let build = |with_trace: bool| {
+        let mut rig = ScenarioRegistry::standard()
+            .build(SCENARIO, true)
+            .expect("registered scenario");
+        rig.platform.set_scheduler_mode(mode);
+        if faulted {
+            arm(&mut rig.platform, seed, a + b);
+        }
+        if with_trace {
+            rig.platform
+                .set_trace_sink(Box::new(RingBufferSink::new(1 << 12)));
+        }
+        rig.platform
+    };
+
+    // Uninterrupted reference (never traced: the trace axis must not
+    // change what is simulated, so the comparison crosses it on purpose).
+    let mut reference = build(false);
+    let _ = reference.run(a);
+    let want = reference.run(b);
+
+    // Snapshot path.
+    let mut original = build(traced);
+    let _ = original.run(a);
+    let snap = original.snapshot();
+    let mut fresh = FppaPlatform::from_snapshot(&snap);
+    let fresh_identical = fresh.run(b) == want;
+    let _ = original.run(b / 2);
+    original.restore(&snap);
+    let restore_identical = original.run(b) == want;
+
+    SnapshotCell {
+        mode,
+        faulted,
+        traced,
+        fresh_identical,
+        restore_identical,
+    }
+}
+
+/// Runs the full {scheduler} × {faults} × {trace} round-trip matrix.
+/// `quick` shrinks the split windows to CI size; `seed` overrides the
+/// faulted cells' campaign seed.
+pub fn run_snapshot_check(quick: bool, seed: Option<u64>) -> SnapshotCheck {
+    let seed = seed.unwrap_or(DEFAULT_SEED);
+    let (a, b) = if quick {
+        (4_000, 8_000)
+    } else {
+        (15_000, 30_000)
+    };
+
+    let mut grid = Vec::new();
+    for mode in [SchedulerMode::Dense, SchedulerMode::ActiveSet] {
+        for faulted in [false, true] {
+            for traced in [false, true] {
+                grid.push((mode, faulted, traced));
+            }
+        }
+    }
+    // Cells are independent platforms; order-preserving fan-out keeps the
+    // table byte-identical to a serial run.
+    let cells: Vec<SnapshotCell> = parallel_map(grid, |(mode, faulted, traced)| {
+        check_cell(mode, faulted, traced, seed, a, b)
+    });
+
+    let ok = cells
+        .iter()
+        .all(|c| c.fresh_identical && c.restore_identical);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "SNAPSHOT  round-trip bit-identity on `{SCENARIO}`: split {a}+{b} cycles, campaign seed {seed}"
+    );
+    let _ = writeln!(
+        s,
+        "  {:<10} {:<7} {:<6} {:<14} restore",
+        "scheduler", "faults", "trace", "from_snapshot"
+    );
+    for c in &cells {
+        let _ = writeln!(
+            s,
+            "  {:<10} {:<7} {:<6} {:<14} {}",
+            format!("{:?}", c.mode),
+            if c.faulted { "on" } else { "off" },
+            if c.traced { "on" } else { "off" },
+            if c.fresh_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+            if c.restore_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+        );
+    }
+    let _ = writeln!(
+        s,
+        "SNAPSHOT  {}",
+        if ok {
+            "all cells round-trip bit-identically"
+        } else {
+            "DIVERGENCE: snapshot/restore is not invisible"
+        }
+    );
+    SnapshotCheck {
+        cells,
+        table: s,
+        ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_matrix_passes_and_covers_all_eight_cells() {
+        let check = run_snapshot_check(true, None);
+        assert_eq!(check.cells.len(), 8);
+        assert!(check.ok, "{}", check.table);
+        // Both schedulers, both fault states, both trace states appear.
+        assert!(check.cells.iter().any(|c| c.mode == SchedulerMode::Dense));
+        assert!(check
+            .cells
+            .iter()
+            .any(|c| c.mode == SchedulerMode::ActiveSet));
+        assert!(check.cells.iter().any(|c| c.faulted && c.traced));
+        assert!(check.table.contains("identical"), "{}", check.table);
+    }
+}

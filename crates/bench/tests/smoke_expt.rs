@@ -12,7 +12,7 @@ use std::process::Command;
 /// are unaffected beyond speed.)
 #[test]
 fn experiment_tables_are_scheduler_invariant() {
-    for id in ["f4", "f6", "t8", "t9", "t10", "t11", "t12"] {
+    for id in ["f4", "f6", "t8", "t9", "t10", "t11", "t12", "t13"] {
         nanowall::set_default_scheduler_mode(SchedulerMode::Dense);
         let dense = nw_bench::experiments::run_by_id(id, true).expect("registered id");
         nanowall::set_default_scheduler_mode(SchedulerMode::ActiveSet);
@@ -344,6 +344,66 @@ fn expt_faults_harness_passes_quick() {
     assert_eq!(unknown.status.code(), Some(2), "unknown flag is an error");
 }
 
+/// `expt snapshot --quick` end to end: the checkpoint/restore matrix
+/// exits 0 on this tree, covers all eight {scheduler} × {faults} ×
+/// {trace} cells, and unknown flags are usage errors (exit 2).
+#[test]
+fn expt_snapshot_matrix_passes_quick() {
+    let exe = env!("CARGO_BIN_EXE_expt");
+    let out = Command::new(exe)
+        .args(["snapshot", "--quick", "--seed", "7"])
+        .output()
+        .expect("spawns");
+    assert!(
+        out.status.success(),
+        "expt snapshot must exit 0: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SNAPSHOT"), "header: {stdout}");
+    assert!(stdout.contains("campaign seed 7"), "seed echoed: {stdout}");
+    assert!(
+        stdout.contains("all cells round-trip bit-identically"),
+        "verdict: {stdout}"
+    );
+    assert!(!stdout.contains("DIVERGED"), "no diverging cell: {stdout}");
+    for mode in ["Dense", "ActiveSet"] {
+        assert_eq!(
+            stdout.matches(mode).count(),
+            4,
+            "four {mode} cells: {stdout}"
+        );
+    }
+
+    let unknown = Command::new(exe)
+        .args(["snapshot", "--frobnicate"])
+        .output()
+        .expect("spawns");
+    assert_eq!(unknown.status.code(), Some(2), "unknown flag is an error");
+}
+
+/// `expt --fast --warm-fork t5` end to end: the warm-fork sweep protocol
+/// runs through the binary and labels its table as such.
+#[test]
+fn expt_warm_fork_flag_runs_a_sweep_grid() {
+    let exe = env!("CARGO_BIN_EXE_expt");
+    let out = Command::new(exe)
+        .args(["--fast", "--warm-fork", "t5"])
+        .output()
+        .expect("spawns");
+    assert!(
+        out.status.success(),
+        "expt --warm-fork t5 must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("T5"), "table header: {stdout}");
+    assert!(
+        stdout.contains("warm-fork"),
+        "the protocol is labeled: {stdout}"
+    );
+}
+
 /// The uniform `--seed` contract: every seed-taking subcommand rejects a
 /// malformed value with the usage exit code 2 — before doing any work.
 #[test]
@@ -354,6 +414,7 @@ fn bad_seed_is_a_usage_error_everywhere() {
         vec!["trace", "--scenario", "mix"],
         vec!["profile", "--quick"],
         vec!["faults", "--quick"],
+        vec!["snapshot", "--quick"],
     ] {
         for seed in [&["--seed", "banana"][..], &["--seed"][..]] {
             let mut args: Vec<&str> = sub.clone();

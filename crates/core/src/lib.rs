@@ -65,7 +65,8 @@ pub mod tags;
 
 pub use config::{BuildPlatformError, FppaConfig, HwIpConfig, MemoryBlockConfig};
 pub use platform::{
-    default_scheduler_mode, set_default_scheduler_mode, FppaPlatform, NodeRole, SchedulerMode,
+    default_scheduler_mode, set_default_scheduler_mode, FppaPlatform, NodeRole, PlatformSnapshot,
+    SchedulerMode,
 };
 pub use report::{ObjectLatency, PlatformReport};
 pub use resilience::{ResilienceStats, RetryPolicy};

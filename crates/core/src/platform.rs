@@ -29,6 +29,8 @@ use nw_obs::{HostPhase, HostProfiler, NocHeatmap, TraceEvent, TraceSink};
 use nw_pe::{Pe, PeRequest};
 use nw_sim::{Clock, Clocked, LatencyHistogram};
 use nw_types::{AreaMm2, Cycles, NodeId, ObjectId, PeId, Picojoules};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::cell::OnceCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -104,7 +106,7 @@ pub enum NodeRole {
 }
 
 /// A packet queued for injection (with retry-on-backpressure).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Outgoing {
     pub src: NodeId,
     pub dst: NodeId,
@@ -200,6 +202,49 @@ pub struct FppaPlatform {
     /// Fault/recovery counters surfaced through
     /// [`FppaPlatform::resilience_stats`]; all zero when faults are off.
     rstats: ResilienceStats,
+    /// The replica seed last applied by [`FppaPlatform::reseed`] /
+    /// [`FppaPlatform::fork`] (0 for a freshly built platform).
+    seed: u64,
+    /// Platform-owned RNG, checkpointed word-for-word by snapshots. The
+    /// default simulation path never draws from it — determinism of
+    /// existing runs does not depend on it — but forked replicas re-seed
+    /// it (and the fault campaign's future) to diverge.
+    rng: StdRng,
+}
+
+/// A plain-old-data checkpoint of a [`FppaPlatform`].
+///
+/// Captures the complete simulation state — PE/program state, NoC engine
+/// state (queues, `busy_until` stamps, event-wheel wakes, the
+/// [`PayloadPool`] ledger), runtime dispatch state (pending invocations,
+/// retry deadlines, handler-plan cache), service/memory state, latency
+/// histograms, resilience counters, and the RNG state words — such that
+/// [`FppaPlatform::from_snapshot`] continues bit-identically to the
+/// uninterrupted original.
+///
+/// Deliberately **not** captured (host-side observers, never simulation
+/// state): the trace sink and the host profiler. [`FppaPlatform::restore`]
+/// keeps the target's own observers across the restore.
+#[derive(Debug)]
+pub struct PlatformSnapshot {
+    /// Full platform state with the host-side observers stripped.
+    state: Box<FppaPlatform>,
+    /// xoshiro256++ state words, captured via `StdRng::get_state`.
+    rng_state: [u64; 4],
+    /// Replica seed at capture time.
+    seed: u64,
+}
+
+impl PlatformSnapshot {
+    /// The simulation cycle the snapshot was taken at.
+    pub fn cycle(&self) -> Cycles {
+        self.state.clock.now()
+    }
+
+    /// The replica seed active at capture time.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
 }
 
 impl FppaPlatform {
@@ -315,7 +360,150 @@ impl FppaPlatform {
             campaign: None,
             resilience: None,
             rstats: ResilienceStats::default(),
+            seed: 0,
+            rng: StdRng::seed_from_u64(0),
         })
+    }
+
+    /// Clones the complete simulation state, stripping the host-side
+    /// observers (trace sink, profiler) and their per-PE retire logs. The
+    /// exhaustive field list keeps this total: adding a platform field
+    /// without deciding its snapshot story is a compile error here.
+    fn clone_state(&self) -> FppaPlatform {
+        let mut pes = self.pes.clone();
+        for pe in &mut pes {
+            // Retire logs exist only to feed an installed trace sink; the
+            // clone has none, so carrying them would grow unboundedly.
+            pe.set_retire_log(false);
+        }
+        FppaPlatform {
+            cfg: self.cfg.clone(),
+            noc: self.noc.clone(),
+            pes,
+            mems: self.mems.clone(),
+            fabrics: self.fabrics.clone(),
+            hwips: self.hwips.clone(),
+            ios: self.ios.clone(),
+            roles: self.roles.clone(),
+            pe_nodes: self.pe_nodes.clone(),
+            mem_nodes: self.mem_nodes.clone(),
+            fabric_nodes: self.fabric_nodes.clone(),
+            hwip_nodes: self.hwip_nodes.clone(),
+            io_nodes: self.io_nodes.clone(),
+            clock: self.clock.clone(),
+            outbox: self.outbox.clone(),
+            mem_inflight: self.mem_inflight.clone(),
+            mem_parked: self.mem_parked.clone(),
+            fabric_inflight: self.fabric_inflight.clone(),
+            fabric_parked: self.fabric_parked.clone(),
+            hwip_inflight: self.hwip_inflight.clone(),
+            hwip_parked: self.hwip_parked.clone(),
+            next_service_id: self.next_service_id,
+            runtime: self.runtime.clone(),
+            scheduler: self.scheduler,
+            pe_active: self.pe_active.clone(),
+            hop_cache: self.hop_cache.clone(),
+            pool: self.pool.clone(),
+            call_issue: self.call_issue.clone(),
+            object_latency: self.object_latency.clone(),
+            latency_deadlines: self.latency_deadlines.clone(),
+            deadline_misses: self.deadline_misses.clone(),
+            obs_sink: None,
+            profiler: None,
+            campaign: self.campaign.clone(),
+            resilience: self.resilience.clone(),
+            rstats: self.rstats.clone(),
+            seed: self.seed,
+            rng: self.rng.clone(),
+        }
+    }
+
+    /// Checkpoints the platform. The snapshot owns an independent copy of
+    /// every piece of simulation state; the platform is untouched (host
+    /// observers included) and can keep running.
+    pub fn snapshot(&self) -> PlatformSnapshot {
+        PlatformSnapshot {
+            rng_state: self.rng.get_state(),
+            seed: self.seed,
+            state: Box::new(self.clone_state()),
+        }
+    }
+
+    /// Rebuilds a platform from a snapshot. The result runs bit-identically
+    /// to the platform the snapshot was taken from — same reports under
+    /// both [`SchedulerMode`]s, with or without an active fault campaign —
+    /// and starts with no trace sink or profiler installed.
+    pub fn from_snapshot(snap: &PlatformSnapshot) -> FppaPlatform {
+        let mut p = snap.state.clone_state();
+        p.seed = snap.seed;
+        p.rng = StdRng::from_state(snap.rng_state);
+        p
+    }
+
+    /// Overwrites this platform's simulation state with the snapshot's,
+    /// keeping the host-side observers (trace sink, profiler) this
+    /// platform already has. Restoring under an installed sink re-enables
+    /// the NoC heatmap and PE retire logging on the restored state.
+    pub fn restore(&mut self, snap: &PlatformSnapshot) {
+        let sink = self.obs_sink.take();
+        let profiler = self.profiler.take();
+        *self = FppaPlatform::from_snapshot(snap);
+        self.profiler = profiler;
+        if let Some(s) = sink {
+            self.set_trace_sink(s);
+        }
+    }
+
+    /// Spawns an independent measurement replica: a bit-exact copy of this
+    /// warmed-up platform, re-seeded with `seed`. The replica shares the
+    /// parent's entire history (queues, histograms, fault effects already
+    /// applied) but its *future* randomness — the platform RNG stream and
+    /// the undrained tail of an installed fault campaign — is redrawn from
+    /// `seed`. Forking with the seed the campaign was generated from (or
+    /// any seed, when no campaign is installed and the RNG is never drawn)
+    /// reproduces the uninterrupted run exactly; distinct seeds give
+    /// statistically independent replicas.
+    pub fn fork(&self, seed: u64) -> FppaPlatform {
+        let mut p = self.clone_state();
+        p.reseed(seed);
+        p
+    }
+
+    /// Re-seeds the platform RNG and redraws the undrained future of an
+    /// installed fault campaign from `seed`, keeping all other state (see
+    /// [`FppaPlatform::fork`]).
+    pub fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+        self.rng = StdRng::seed_from_u64(seed);
+        let now = self.clock.now().0;
+        if let Some(c) = self.campaign.as_mut() {
+            c.reseed(seed, now);
+        }
+    }
+
+    /// The replica seed last applied by [`FppaPlatform::reseed`] /
+    /// [`FppaPlatform::fork`] (0 for a freshly built platform).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Direct access to the platform-owned seeded RNG. The built-in
+    /// simulation path never draws from it; custom components that want
+    /// per-replica randomness should draw here so forked replicas diverge
+    /// and snapshots capture their stream position.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Retunes I/O channel `i`'s line rate in place (warm-fork hook: grid
+    /// points forked from one warmed platform differ only in offered load
+    /// from the fork cycle onward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_io_rate(&mut self, i: usize, rate: nw_types::BitsPerSec) {
+        self.ios[i].set_rate(rate);
     }
 
     /// Installs a trace sink: from now on the platform reports packet

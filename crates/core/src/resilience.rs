@@ -69,7 +69,7 @@ impl RetryPolicy {
 }
 
 /// One in-flight synchronous call tracked for retry.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct PendingCall {
     /// Cycle the current attempt times out.
     pub deadline: u64,
@@ -99,7 +99,7 @@ pub(crate) enum CloseOutcome {
 }
 
 /// The retry table: per-thread pending calls plus token counters.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct ResilienceState {
     pub policy: RetryPolicy,
     /// Pending synchronous calls keyed `(pe, tid)` — BTreeMap so due-scan

@@ -95,7 +95,7 @@ pub struct ServiceBinding {
 }
 
 /// A queued invocation awaiting an idle hardware thread.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PendingInvocation {
     object: ObjectId,
     method: MethodId,
@@ -110,7 +110,7 @@ struct PendingInvocation {
 }
 
 /// A deterministic entry-rate drive.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Drive {
     object: ObjectId,
     method: MethodId,
@@ -156,7 +156,7 @@ pub(crate) struct HandlerPlan {
 }
 
 /// The installed-application runtime state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Runtime {
     app: Application,
     /// object → PE index.

@@ -119,6 +119,44 @@ fn nd02_and_nd03_guard_the_fault_crate() {
 }
 
 #[test]
+fn nd01_and_nd03_guard_the_snapshot_layer() {
+    // The checkpoint/fork contract: snapshots must be plain-old-data owned
+    // by value. A global snapshot cache or a hash-keyed replica table in
+    // `crates/core` are exactly the bugs that would let replicas share
+    // state (or observe iteration order), so both rules must fire on them.
+    let hit = scan(&[(
+        "crates/core/src/platform.rs",
+        "static LAST_SNAPSHOT: OnceLock<PlatformSnapshot> = OnceLock::new();\n\
+         fn replicas() -> HashMap<u64, PlatformSnapshot> { HashMap::new() }\n",
+    )]);
+    assert_eq!(rules_of(&hit), ["ND03", "ND01", "ND01"], "{}", hit.render());
+
+    // The sanctioned shape — field-literal state clone, RNG state as a
+    // plain array, seeded reconstruction — is clean with no exemptions.
+    let clean = scan(&[(
+        "crates/core/src/platform.rs",
+        "use rand::rngs::StdRng;\nuse rand::SeedableRng;\n\
+         pub struct PlatformSnapshot { rng_state: [u64; 4], seed: u64 }\n\
+         fn capture(rng: &StdRng, seed: u64) -> PlatformSnapshot {\n\
+             PlatformSnapshot { rng_state: rng.get_state(), seed }\n\
+         }\n\
+         fn thaw(s: &PlatformSnapshot) -> StdRng { StdRng::from_state(s.rng_state) }\n",
+    )]);
+    assert!(clean.is_clean(), "{}", clean.render());
+
+    // And the checked-in allowlist grants the snapshot layer nothing: the
+    // shipped platform/runtime code passes on its own, so bit-identity of
+    // restored runs is pinned by the lint gate, not excused from it.
+    let committed = include_str!("../../../nw-analyze.allow");
+    for file in ["platform.rs", "runtime.rs", "resilience.rs"] {
+        assert!(
+            !committed.contains(file),
+            "nw-analyze.allow must not exempt the snapshot layer ({file})"
+        );
+    }
+}
+
+#[test]
 fn rh01_flags_pool_acquires_with_no_release_in_the_module() {
     let hit = scan(&[(
         "crates/core/src/x.rs",

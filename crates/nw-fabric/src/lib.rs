@@ -215,7 +215,7 @@ impl MappedKernel {
 ///
 /// Holds at most one configured kernel; [`Efpga::reconfigure`] loads a new
 /// one, stalling the pipeline for the bitstream load time.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Efpga {
     spec: FabricSpec,
     kernel: Option<MappedKernel>,

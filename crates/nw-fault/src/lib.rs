@@ -155,6 +155,8 @@ pub struct FabricShape {
 pub struct FaultCampaign {
     seed: u64,
     horizon: u64,
+    rates: FaultRates,
+    shape: FabricShape,
     events: Vec<FaultEvent>,
     cursor: usize,
 }
@@ -281,6 +283,8 @@ impl FaultCampaign {
         FaultCampaign {
             seed,
             horizon,
+            rates: rates.clone(),
+            shape: shape.clone(),
             events,
             cursor: 0,
         }
@@ -291,6 +295,12 @@ impl FaultCampaign {
         FaultCampaign {
             seed,
             horizon: 0,
+            rates: FaultRates::quiet(),
+            shape: FabricShape {
+                n_pes: 0,
+                router_ports: Vec::new(),
+                n_endpoints: 0,
+            },
             events: Vec::new(),
             cursor: 0,
         }
@@ -334,6 +344,30 @@ impl FaultCampaign {
     /// Rewind the drain cursor to replay the same timeline.
     pub fn reset(&mut self) {
         self.cursor = 0;
+    }
+
+    /// Advance the drain cursor to the first event at or after `cycle`
+    /// without applying anything. On a campaign whose events up to
+    /// `cycle - 1` have been drained by [`take_due`], this is a no-op —
+    /// which is exactly what makes a same-seed [`reseed`] at a snapshot
+    /// boundary continue the original timeline bit-identically.
+    ///
+    /// [`take_due`]: FaultCampaign::take_due
+    /// [`reseed`]: FaultCampaign::reseed
+    pub fn skip_until(&mut self, cycle: u64) {
+        self.cursor = self.events.partition_point(|e| e.cycle < cycle);
+    }
+
+    /// Regenerates the timeline from `seed` over the original horizon,
+    /// rates and shape, then skips every event before `from_cycle`. A
+    /// forked measurement replica calls this at the fork point: its
+    /// already-applied fault history (shared with the parent) stays as
+    /// platform state, while the undrained future is redrawn from the new
+    /// seed. Reseeding with the original seed reproduces the original
+    /// future exactly.
+    pub fn reseed(&mut self, seed: u64, from_cycle: u64) {
+        *self = FaultCampaign::generate(seed, self.horizon, &self.rates, &self.shape);
+        self.skip_until(from_cycle);
     }
 }
 
@@ -443,6 +477,46 @@ mod tests {
         assert_eq!(c.remaining(), 0);
         c.reset();
         assert_eq!(c.remaining(), total);
+    }
+
+    #[test]
+    fn skip_until_matches_a_take_due_drain() {
+        let rates = FaultRates::scaled(2.0);
+        let mut drained = FaultCampaign::generate(21, 120_000, &rates, &shape());
+        let mut skipped = drained.clone();
+        let boundary = 60_000;
+        let _ = drained.take_due(boundary - 1);
+        skipped.skip_until(boundary);
+        assert_eq!(drained, skipped);
+        assert_eq!(drained.next_cycle(), skipped.next_cycle());
+    }
+
+    #[test]
+    fn same_seed_reseed_is_a_no_op_at_the_drain_boundary() {
+        let rates = FaultRates::scaled(2.0);
+        let mut c = FaultCampaign::generate(33, 120_000, &rates, &shape());
+        let _ = c.take_due(49_999);
+        let reference = c.clone();
+        c.reseed(33, 50_000);
+        assert_eq!(c, reference);
+    }
+
+    #[test]
+    fn reseed_redraws_the_future_only() {
+        let rates = FaultRates::scaled(2.0);
+        let mut c = FaultCampaign::generate(33, 120_000, &rates, &shape());
+        let _ = c.take_due(49_999);
+        let before = c.clone();
+        c.reseed(34, 50_000);
+        assert_ne!(c.events(), before.events());
+        assert_eq!(c.seed(), 34);
+        assert_eq!(c.horizon(), before.horizon());
+        // Every undrained event sits at or after the fork point.
+        assert!(c
+            .events()
+            .iter()
+            .skip(c.events().len() - c.remaining())
+            .all(|e| e.cycle >= 50_000));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use nw_types::{AreaMm2, Cycles, Picojoules};
 /// for c in 0..20 { ip.tick(Cycles(c)); }
 /// assert_eq!(ip.take_done(), Some(1));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HwIpBlock {
     name: String,
     server: PipelinedServer,

@@ -73,7 +73,7 @@ struct Line {
 /// assert_eq!(c.hits(), 1);
 /// assert_eq!(c.misses(), 1);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     backing: MemorySpec,

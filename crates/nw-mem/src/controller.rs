@@ -69,7 +69,7 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Bank {
     queue: VecDeque<MemRequest>,
     busy_until: u64,
@@ -97,7 +97,7 @@ struct Bank {
 /// };
 /// assert_eq!(resp.id, 1);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemoryController {
     spec: MemorySpec,
     banks: Vec<Bank>,

@@ -71,7 +71,7 @@ impl fmt::Display for InjectError {
 
 impl std::error::Error for InjectError {}
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct OutPort {
     to: usize,
     latency: u64,
@@ -84,7 +84,7 @@ struct OutPort {
     down: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct RouterState {
     ports: Vec<OutPort>,
     shared: bool,
@@ -99,7 +99,7 @@ struct RouterState {
     queued: usize,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Arrival {
     router: usize,
     packet: Packet,
@@ -128,7 +128,7 @@ struct RouterCounter {
 /// Opt-in heatmap accounting, one slot per router. `None` until
 /// [`Noc::enable_obs`] — the disabled cost on every hot path is a single
 /// `Option` branch.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ObsCounters {
     links: Vec<Vec<LinkCounter>>,
     routers: Vec<RouterCounter>,
@@ -189,7 +189,7 @@ pub struct NocCounts {
 /// assert_eq!(pkt.tag, 42);
 /// # Ok::<(), nw_noc::topology::BuildTopologyError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Noc {
     topo: Topology,
     cfg: NocConfig,

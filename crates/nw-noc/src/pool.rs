@@ -41,6 +41,28 @@ pub struct PayloadPool {
     returned: u64,
 }
 
+/// Snapshot-oriented clone: free-list buffers are all length 0, so a
+/// derived clone would shed their allocations and hand the restored
+/// platform a pool of zero-capacity buffers — observably different free
+/// list behavior, since `put` drops capacity-0 returns. Cloning capacity
+/// instead of contents keeps the restored pool's ledger trajectory
+/// bit-identical to the original's.
+impl Clone for PayloadPool {
+    fn clone(&self) -> Self {
+        PayloadPool {
+            free: self
+                .free
+                .iter()
+                .map(|v| Vec::with_capacity(v.capacity()))
+                .collect(),
+            recycled: self.recycled,
+            allocated: self.allocated,
+            taken: self.taken,
+            returned: self.returned,
+        }
+    }
+}
+
 impl PayloadPool {
     /// Buffers retained at most; returns beyond this are dropped so a
     /// traffic burst cannot pin an unbounded free list.
@@ -173,6 +195,28 @@ mod tests {
         assert_eq!(pool.outstanding(), 0);
         pool.put(vec![1; 4]); // caller-owned buffer recycled at consumption
         assert_eq!(pool.outstanding(), -1);
+    }
+
+    #[test]
+    fn clone_preserves_free_list_capacities_and_ledger() {
+        let mut pool = PayloadPool::new();
+        pool.put(vec![0xCD; 96]);
+        let held = pool.take_zeroed(8);
+        let copy = pool.clone();
+        assert_eq!(copy.free_len(), pool.free_len());
+        assert_eq!(copy.outstanding(), pool.outstanding());
+        assert_eq!(copy.recycled(), pool.recycled());
+        drop(held);
+        let mut copy = copy;
+        pool.put(vec![0xEE; 32]);
+        copy.put(vec![0xEE; 32]);
+        // A recycled draw on the clone reuses a real allocation, exactly
+        // like the original — the clone did not shed free-list capacity.
+        let a = pool.take_zeroed(4);
+        let b = copy.take_zeroed(4);
+        assert!(a.capacity() > 0 && b.capacity() > 0);
+        assert_eq!(pool.recycled(), copy.recycled());
+        assert_eq!(pool.allocated(), copy.allocated());
     }
 
     #[test]

@@ -148,8 +148,10 @@ impl TraceEvent {
 /// event sequence and must not feed anything back into the simulation
 /// (the platform only ever hands it events, never reads it). Emitters
 /// thread sinks as `Option<&mut dyn TraceSink>`, so the disabled path is
-/// one branch and zero allocation.
-pub trait TraceSink: std::fmt::Debug {
+/// one branch and zero allocation. Sinks are `Send` so a platform owning
+/// one can move across sweep-worker threads (forked replicas run under
+/// `parallel_map`).
+pub trait TraceSink: std::fmt::Debug + Send {
     /// Receives one event, in simulation order.
     fn emit(&mut self, ev: TraceEvent);
     /// Downcast support so owners of a boxed sink can recover the concrete

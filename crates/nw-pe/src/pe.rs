@@ -122,7 +122,7 @@ enum ThreadState {
     AwaitingCompletion,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Thread {
     state: ThreadState,
     program: Option<Program>,
@@ -150,7 +150,7 @@ pub struct PeStats {
 ///
 /// See the [crate-level documentation](crate) for the execution model and
 /// an end-to-end example.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Pe {
     cfg: PeConfig,
     threads: Vec<Thread>,

@@ -6,7 +6,7 @@ use std::collections::BinaryHeap;
 
 /// An entry in the queue: payload plus its due time and a tie-break sequence
 /// number so that events scheduled for the same cycle pop in insertion order.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<T> {
     due: Cycles,
     seq: u64,
@@ -58,7 +58,7 @@ impl<T> PartialOrd for Entry<T> {
 /// assert_eq!(q.pop_due(Cycles(5)), None);
 /// assert_eq!(q.pop_due(Cycles(10)), Some("late"));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     next_seq: u64,

@@ -46,7 +46,10 @@ pub mod trace;
 pub use event::EventQueue;
 pub use parallel::{parallel_map, parallel_map_with, set_sweep_threads, sweep_threads};
 pub use pipeline::{PipelinedServer, ServerFull};
-pub use stats::{Counter, Histogram, LatencyHistogram, OnlineMean, Utilization};
+pub use stats::{
+    summarize_replicas, Counter, Histogram, LatencyHistogram, OnlineMean, ReplicaSummary,
+    Utilization,
+};
 pub use trace::{SignalId, Tracer};
 
 use nw_types::Cycles;

@@ -44,7 +44,7 @@ impl std::error::Error for ServerFull {}
 /// }
 /// assert_eq!(done, vec![1, 2]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PipelinedServer {
     ii: u64,
     latency: u64,

@@ -523,9 +523,102 @@ impl OnlineMean {
     }
 }
 
+/// Spread of one statistic across N independent measurement replicas:
+/// the summary the multi-seed replica experiments report per percentile
+/// column instead of a single draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaSummary {
+    /// Replicas summarized.
+    pub n: usize,
+    /// Smallest replica value.
+    pub min: f64,
+    /// Median replica value (midpoint average for even N).
+    pub median: f64,
+    /// Largest replica value.
+    pub max: f64,
+    /// Normal-approximation 95% confidence half-width of the replica mean:
+    /// `1.96 * s / sqrt(n)` with `s` the sample standard deviation. Zero
+    /// with fewer than two replicas.
+    pub ci_half_width: f64,
+}
+
+/// Summarizes one statistic measured on each of N replicas.
+///
+/// # Examples
+///
+/// ```
+/// use nw_sim::stats::summarize_replicas;
+///
+/// let s = summarize_replicas(&[10.0, 14.0, 12.0]);
+/// assert_eq!((s.min, s.median, s.max), (10.0, 12.0, 14.0));
+/// assert!(s.ci_half_width > 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics on an empty slice or a NaN value — replica measurements are
+/// concrete percentile readings, so neither has a meaningful summary.
+pub fn summarize_replicas(values: &[f64]) -> ReplicaSummary {
+    assert!(!values.is_empty(), "no replicas to summarize");
+    assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "replica values must not be NaN"
+    );
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN excluded above"));
+    let n = sorted.len();
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    let mut mean = OnlineMean::new();
+    for &v in &sorted {
+        mean.push(v);
+    }
+    let ci_half_width = if n < 2 {
+        0.0
+    } else {
+        1.96 * mean.std_dev() / (n as f64).sqrt()
+    };
+    ReplicaSummary {
+        n,
+        min: sorted[0],
+        median,
+        max: sorted[n - 1],
+        ci_half_width,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn replica_summary_orders_and_bounds() {
+        let s = summarize_replicas(&[5.0, 1.0, 3.0, 9.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.0);
+        // 1.96 * s / sqrt(n) against a hand-computed sample std dev:
+        // mean 4.5, squared deviations 0.25 + 12.25 + 2.25 + 20.25 = 35.
+        let expect = 1.96 * ((35.0 / 3.0f64).sqrt()) / 2.0;
+        assert!((s.ci_half_width - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replica_summary_single_value_has_zero_width() {
+        let s = summarize_replicas(&[7.5]);
+        assert_eq!((s.min, s.median, s.max), (7.5, 7.5, 7.5));
+        assert_eq!(s.ci_half_width, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no replicas")]
+    fn replica_summary_rejects_empty() {
+        let _ = summarize_replicas(&[]);
+    }
 
     #[test]
     fn counter_rates() {

@@ -186,6 +186,84 @@ fn tracing_does_not_perturb_results() {
 }
 
 #[test]
+fn warmed_forks_anchor_to_the_original_seed_and_diverge_on_new_ones() {
+    // The replica contract behind `expt t13`: one warmed-up platform fans
+    // out into N measurement replicas via `fork(seed)`. Forking with the
+    // *campaign's own* seed must be bit-identical to the run that was never
+    // snapshotted (the reseed is a no-op at the drain boundary), while
+    // distinct seeds redraw the undrained fault future and must diverge —
+    // and forking must never mutate the parent.
+    use nanowall::{FaultCampaign, FaultRates, RetryPolicy};
+
+    const CAMPAIGN_SEED: u64 = 42;
+    const WARM: u64 = 6_000;
+    const MEASURE: u64 = 20_000;
+
+    let arm = |platform: &mut nanowall::FppaPlatform| {
+        let mut rates = FaultRates::scaled(3.0);
+        rates.pe_crashes += 2;
+        rates.pe_downtime = (200, 2_000);
+        let shape = platform.fault_shape();
+        platform.install_fault_campaign(FaultCampaign::generate(
+            CAMPAIGN_SEED,
+            WARM + MEASURE,
+            &rates,
+            &shape,
+        ));
+        platform.set_retry_policy(RetryPolicy::default());
+    };
+
+    for mode in [SchedulerMode::Dense, SchedulerMode::ActiveSet] {
+        let reg = ScenarioRegistry::standard();
+
+        // Never-snapshotted reference: warm, then measure.
+        let mut reference = reg.build("ipv4", true).expect("registered");
+        reference.platform.set_scheduler_mode(mode);
+        arm(&mut reference.platform);
+        let _ = reference.run(WARM);
+        let want = reference.run(MEASURE);
+
+        // Warmed parent that fans out.
+        let mut parent = reg.build("ipv4", true).expect("registered");
+        parent.platform.set_scheduler_mode(mode);
+        arm(&mut parent.platform);
+        let _ = parent.run(WARM);
+
+        // Original-seed fork reproduces the uninterrupted run exactly.
+        let mut anchor = parent.platform.fork(CAMPAIGN_SEED);
+        let got = anchor.run(MEASURE);
+        assert_eq!(
+            got, want,
+            "{mode:?}: original-seed fork diverged from the never-snapshotted run"
+        );
+
+        // Distinct seeds redraw the fault future: replicas diverge from the
+        // anchor and from each other, and the same seed is reproducible.
+        let mut replica_a = parent.platform.fork(1001);
+        let mut replica_a2 = parent.platform.fork(1001);
+        let mut replica_b = parent.platform.fork(2002);
+        let rep_a = replica_a.run(MEASURE);
+        let rep_a2 = replica_a2.run(MEASURE);
+        let rep_b = replica_b.run(MEASURE);
+        assert_eq!(rep_a, rep_a2, "{mode:?}: same-seed replicas must agree");
+        assert_ne!(rep_a, want, "{mode:?}: reseeded replica failed to diverge");
+        assert_ne!(
+            rep_a, rep_b,
+            "{mode:?}: distinct seeds produced one timeline"
+        );
+
+        // No state sharing through the PayloadPool or handler-plan cache:
+        // running the forks left the parent untouched, so its own
+        // continuation still matches the reference.
+        let parent_tail = parent.run(MEASURE);
+        assert_eq!(
+            parent_tail, want,
+            "{mode:?}: running forks perturbed the parent platform"
+        );
+    }
+}
+
+#[test]
 fn next_event_cycle_never_overshoots() {
     // On an idle platform the platform-wide next event equals the earliest
     // component event; stepping to it must observe a state change while
